@@ -1,0 +1,49 @@
+//! Microbenchmarks of the erosion dynamics: frontier step cost and column
+//! weight accounting at realistic stripe sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ulba_erosion::erode::erosion_step;
+use ulba_erosion::{Column, Geometry};
+
+fn stripe(geometry: &Geometry, range: std::ops::Range<usize>) -> Vec<Column> {
+    range.map(|c| Column::initial(geometry, c)).collect()
+}
+
+fn bench_erosion_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erosion_step");
+    g.sample_size(10); // paper-scale stripes clone 4 MB per sample
+    for (name, cols, height, radius) in
+        [("scaled_stripe", 250usize, 250usize, 62usize), ("paper_stripe", 1000, 1000, 250)]
+    {
+        let geometry = Geometry::new(1, cols, height, radius);
+        let base = stripe(&geometry, 0..cols);
+        g.throughput(Throughput::Elements((cols * height) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &base, |b, base| {
+            let mut iter = 0u64;
+            b.iter_batched(
+                || base.clone(),
+                |mut s| {
+                    iter += 1;
+                    erosion_step(&mut s, 0, None, None, 42, iter, &|_| black_box(0.1))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_weight_accounting(c: &mut Criterion) {
+    let geometry = Geometry::new(1, 250, 250, 62);
+    let s = stripe(&geometry, 0..250);
+    c.bench_function("column_weights_250", |b| {
+        b.iter(|| {
+            let w: Vec<u64> = black_box(&s).iter().map(|c| c.fluid_weight() as u64).collect();
+            w
+        })
+    });
+}
+
+criterion_group!(benches, bench_erosion_step, bench_weight_accounting);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmarks of the WIR-database gossip layer: merge throughput and
+//! rounds-to-convergence of each dissemination mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ulba_core::db::{WirDatabase, WirEntry};
+use ulba_core::gossip::{simulate_rounds_to_completion, GossipMode};
+
+fn bench_db_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wir_db_merge");
+    for size in [32usize, 256, 2048] {
+        let snapshot: Vec<WirEntry> = (0..size)
+            .map(|r| WirEntry { rank: r, wir: r as f64, iteration: (r % 7) as u64 })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(size), &snapshot, |b, snap| {
+            b.iter(|| {
+                let mut db = WirDatabase::new(snap.len());
+                db.merge(black_box(snap));
+                db.known_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rounds_to_completion");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("ring", GossipMode::Ring),
+        ("push2", GossipMode::RandomPush { fanout: 2 }),
+        ("hybrid1", GossipMode::Hybrid { fanout: 1 }),
+    ] {
+        g.bench_function(BenchmarkId::new(name, 256), |b| {
+            b.iter(|| simulate_rounds_to_completion(black_box(mode), 256, 13, 1024))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_db_merge, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmarks of the LB-interval optimizers: the exact DP versus the
+//! simulated-annealing search (per Table II instance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ulba_model::schedule::Method;
+use ulba_model::search::{anneal_schedule, optimal_schedule, AnnealSearchConfig};
+use ulba_model::{InstanceDistribution, ModelParams};
+
+fn bench_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_optimal");
+    for gamma in [100u32, 400] {
+        let mut params = ModelParams::example();
+        params.gamma = gamma;
+        g.bench_with_input(BenchmarkId::from_parameter(gamma), &params, |b, p| {
+            b.iter(|| optimal_schedule(black_box(p), Method::Ulba { alpha: 0.4 }))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let inst = InstanceDistribution::default().sample_many(1, 42).remove(0);
+    let mut g = c.benchmark_group("simulated_annealing");
+    g.sample_size(10);
+    for steps in [2_000u64, 20_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            let cfg = AnnealSearchConfig { steps, seed: 7, probe_moves: 100 };
+            b.iter(|| {
+                anneal_schedule(
+                    black_box(&inst.params),
+                    Method::Ulba { alpha: inst.alpha },
+                    cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dp, bench_sa);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmarks of the analytical model: schedule evaluation (Eq. (4))
+//! for both methods and the σ⁻/σ⁺ bound computations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ulba_model::schedule::{menon_schedule, sigma_plus_schedule, total_time, Method};
+use ulba_model::{standard, ulba, ModelParams};
+
+fn bench_total_time(c: &mut Criterion) {
+    let params = ModelParams::example();
+    let menon = menon_schedule(&params);
+    let sigma = sigma_plus_schedule(&params, 0.4);
+    let mut g = c.benchmark_group("total_time");
+    g.bench_function("standard/menon-schedule", |b| {
+        b.iter(|| total_time(black_box(&params), black_box(&menon), Method::Standard))
+    });
+    g.bench_function("ulba/sigma-schedule", |b| {
+        b.iter(|| {
+            total_time(black_box(&params), black_box(&sigma), Method::Ulba { alpha: 0.4 })
+        })
+    });
+    g.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let params = ModelParams::example();
+    let mut g = c.benchmark_group("interval_bounds");
+    g.bench_function("sigma_minus", |b| {
+        b.iter(|| ulba::sigma_minus(black_box(&params), 10, black_box(0.4)))
+    });
+    g.bench_function("sigma_plus", |b| {
+        b.iter(|| ulba::sigma_plus(black_box(&params), 10, black_box(0.4)))
+    });
+    g.bench_function("menon_tau", |b| b.iter(|| standard::menon_tau(black_box(&params))));
+    g.finish();
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_generation");
+    for gamma in [100u32, 1000] {
+        let mut params = ModelParams::example();
+        params.gamma = gamma;
+        g.bench_with_input(BenchmarkId::new("sigma_plus_schedule", gamma), &params, |b, p| {
+            b.iter(|| sigma_plus_schedule(black_box(p), 0.4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_total_time, bench_bounds, bench_schedule_generation);
+criterion_main!(benches);

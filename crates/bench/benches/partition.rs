@@ -1,0 +1,52 @@
+//! Microbenchmarks of the weighted contiguous partitioner (the centralized
+//! LB technique's core) over domain width and PE count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ulba_core::partition::{partition_by_shares, partition_evenly};
+use ulba_core::shares::compute_shares;
+
+fn weights(n: usize) -> Vec<u64> {
+    // Deterministic skewed weights (xorshift), emulating a refined-frontier
+    // column profile.
+    let mut x = 88172645463325252u64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            200 + (x % 64) + if i % 97 == 0 { 800 } else { 0 }
+        })
+        .collect()
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_by_shares");
+    for &(cols, pes) in &[(8_000usize, 32usize), (64_000, 256), (512_000, 2048)] {
+        let w = weights(cols);
+        g.throughput(Throughput::Elements(cols as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cols}cols_{pes}pe")),
+            &(w, pes),
+            |b, (w, pes)| b.iter(|| partition_evenly(black_box(w), *pes)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_shares_plus_partition(c: &mut Criterion) {
+    // The full Algorithm 2 path: alphas → shares → weighted split.
+    let w = weights(64_000);
+    let mut alphas = vec![0.0f64; 256];
+    alphas[17] = 0.4;
+    alphas[200] = 0.4;
+    c.bench_function("algorithm2_shares_then_split", |b| {
+        b.iter(|| {
+            let d = compute_shares(black_box(&alphas));
+            partition_by_shares(black_box(&w), &d.shares)
+        })
+    });
+}
+
+criterion_group!(benches, bench_partition, bench_shares_plus_partition);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks of the SPMD runtime: collective rendezvous and
+//! point-to-point throughput (real thread synchronization cost, not virtual
+//! time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ulba_runtime::{run, RunConfig};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_100_rounds");
+    g.sample_size(10);
+    for ranks in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("allreduce", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                run(RunConfig::new(ranks), |ctx| {
+                    for _ in 0..100 {
+                        ctx.allreduce_sum(ctx.rank() as f64);
+                    }
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("barrier", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                run(RunConfig::new(ranks), |ctx| {
+                    for _ in 0..100 {
+                        ctx.barrier();
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p_ring_100_rounds");
+    g.sample_size(10);
+    for ranks in [4usize, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                run(RunConfig::new(ranks), |ctx| {
+                    let next = (ctx.rank() + 1) % ctx.size();
+                    let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                    for i in 0..100u32 {
+                        ctx.send(next, 1, i, 4);
+                        let _: u32 = ctx.recv(prev, 1);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives, bench_p2p);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Ablation E-A2: α rule (fixed vs dynamic z-scaled vs robust detection).
+fn main() {
+    ulba_bench::figures::ablations::alpha_rule_ablation(&[32, 64], 11);
+}

@@ -1,0 +1,4 @@
+//! Ablation E-A4: anticipatory (predicted-weight) partitioning.
+fn main() {
+    ulba_bench::figures::ablations::anticipation_ablation(&[32, 64, 128], 11);
+}

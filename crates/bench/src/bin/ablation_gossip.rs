@@ -1,0 +1,4 @@
+//! Ablation E-A3: gossip dissemination mode.
+fn main() {
+    ulba_bench::figures::ablations::gossip_ablation(64, 11);
+}

@@ -1,0 +1,4 @@
+//! Ablation E-A1: LB trigger choice.
+fn main() {
+    ulba_bench::figures::ablations::trigger_ablation(64, 11);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4b (average PE utilization timeline, 32 PEs, 1 rock).
+fn main() {
+    ulba_bench::figures::fig4::run_4b(32, 11);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II (parameter-distribution validation).
+use ulba_bench::output::{env_usize, quick_mode};
+
+fn main() {
+    let n = env_usize("ULBA_INSTANCES", if quick_mode() { 100 } else { 1000 });
+    ulba_bench::figures::table2::run(n, 2019);
+}

@@ -1,0 +1,91 @@
+//! Figure 5 — hyper-parameter tuning of α: ULBA on the erosion application
+//! with one strongly erodible rock, α ∈ {0.1 … 0.5} × P ∈ {32, 64, 128,
+//! 256}.
+//!
+//! Paper claims: α strongly impacts performance (up to 14 % spread); no
+//! significant gain above α = 0.4 for 32–128 PEs, while 256 PEs still
+//! improves from 0.4 to 0.5 (larger P − N supports a larger α, Eq. (11)).
+
+use crate::output::{print_table, write_csv};
+use ulba_core::policy::LbPolicy;
+use ulba_erosion::{run_erosion_median, ErosionConfig};
+
+/// The α grid of the paper's Fig. 5.
+pub const ALPHAS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// One Fig. 5 series: makespans by α for a fixed P.
+#[derive(Debug, Clone)]
+pub struct Fig5Series {
+    /// PE count.
+    pub ranks: usize,
+    /// `(α, median makespan seconds)` pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Fig5Series {
+    /// Spread between the worst and best α, as a percentage of the worst.
+    pub fn spread_percent(&self) -> f64 {
+        let best = self.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let worst = self.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        (worst - best) / worst * 100.0
+    }
+}
+
+/// Run the α sweep.
+pub fn run(pe_counts: &[usize], seeds: &[u64]) -> Vec<Fig5Series> {
+    println!(
+        "Fig. 5 — α tuning on the erosion app (1 strong rock, median of {} seed(s))",
+        seeds.len()
+    );
+    let mut series = Vec::new();
+    for &ranks in pe_counts {
+        let mut points = Vec::new();
+        for &alpha in &ALPHAS {
+            let mut cfg = ErosionConfig::scaled(ranks, 1);
+            cfg.policy = LbPolicy::ulba_fixed(alpha);
+            let res = run_erosion_median(&cfg, seeds);
+            eprintln!("  [P={ranks} α={alpha}] {:.2}s ({} LB)", res.makespan, res.lb_calls);
+            points.push((alpha, res.makespan));
+        }
+        series.push(Fig5Series { ranks, points });
+    }
+
+    let mut header: Vec<String> = vec!["PEs".into()];
+    header.extend(ALPHAS.iter().map(|a| format!("α={a}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.ranks.to_string()];
+            row.extend(s.points.iter().map(|(_, t)| format!("{t:.2}")));
+            row
+        })
+        .collect();
+    print_table("Fig. 5 — time [s] by α", &header_refs, &rows);
+    for s in &series {
+        println!("P={}: spread {:.1}% (paper: up to 14%)", s.ranks, s.spread_percent());
+    }
+
+    let csv_rows: Vec<Vec<String>> = series
+        .iter()
+        .flat_map(|s| {
+            s.points.iter().map(move |(a, t)| {
+                vec![s.ranks.to_string(), format!("{a}"), format!("{t:.4}")]
+            })
+        })
+        .collect();
+    let path = write_csv("fig5_alpha_tuning", &["pes", "alpha", "time_s"], &csv_rows);
+    println!("wrote {}", path.display());
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_computation() {
+        let s = Fig5Series { ranks: 32, points: vec![(0.1, 100.0), (0.4, 86.0)] };
+        assert!((s.spread_percent() - 14.0).abs() < 1e-12);
+    }
+}

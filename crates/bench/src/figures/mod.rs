@@ -1,0 +1,18 @@
+//! One module per paper artifact; each `run` prints the figure's/table's
+//! rows and writes a CSV under `results/`. The binaries in `src/bin/` are
+//! thin wrappers so `cargo run --bin fig3` regenerates exactly one artifact
+//! and `--bin all_figures` regenerates everything.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table2;
+
+/// Standard seeds used for median-of-N erosion runs (the paper uses the
+/// median of five runs).
+pub const MEDIAN_SEEDS: [u64; 5] = [11, 23, 37, 53, 71];
+
+/// The PE counts of the paper's scaling study (§IV-B).
+pub const PAPER_PE_COUNTS: [usize; 4] = [32, 64, 128, 256];

@@ -1,0 +1,25 @@
+//! `ulba-bench` — the benchmark harness regenerating every table and figure
+//! of Boulmier et al. (IEEE CLUSTER 2019), plus ablation studies and
+//! Criterion microbenchmarks.
+//!
+//! | artifact | binary | library entry |
+//! |---|---|---|
+//! | Table II | `table2` | [`figures::table2::run`] |
+//! | Fig. 2 | `fig2` | [`figures::fig2::run`] |
+//! | Fig. 3 | `fig3` | [`figures::fig3::run`] |
+//! | Fig. 4a | `fig4a` | [`figures::fig4::run_4a`] |
+//! | Fig. 4b | `fig4b` | [`figures::fig4::run_4b`] |
+//! | Fig. 5 | `fig5` | [`figures::fig5::run`] |
+//! | E-A1…E-A3 | `ablation_*` | [`figures::ablations`] |
+//! | everything | `all_figures` | — |
+//!
+//! Environment knobs: `ULBA_QUICK=1` shrinks instance counts and seeds for
+//! smoke runs; `ULBA_RESULTS=<dir>` redirects the CSV output;
+//! `ULBA_INSTANCES`, `ULBA_SEEDS`, `ULBA_SA_STEPS` override study sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod output;
+pub mod stats;

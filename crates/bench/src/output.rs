@@ -1,0 +1,104 @@
+//! Result output: aligned console tables and CSV files under `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory where CSVs are written (`ULBA_RESULTS` env override,
+/// `results/` by default).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("ULBA_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Write a CSV file `results/<name>.csv`; returns the path.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("cannot create CSV file");
+    writeln!(f, "{}", header.join(",")).expect("write CSV header");
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len(), "row width mismatch");
+        writeln!(f, "{}", row.join(",")).expect("write CSV row");
+    }
+    path
+}
+
+/// Print an aligned console table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// A crude console bar for histogram/utilization rendering.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let n = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { ' ' });
+    }
+    s
+}
+
+/// Quick-mode switch shared by all harnesses: set `ULBA_QUICK=1` to shrink
+/// instance counts / seeds for smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::var_os("ULBA_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Environment override for a numeric knob (e.g. `ULBA_INSTANCES=200`).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_renders_fraction() {
+        assert_eq!(bar(0.5, 4), "##  ");
+        assert_eq!(bar(0.0, 3), "   ");
+        assert_eq!(bar(1.5, 3), "###");
+    }
+
+    #[test]
+    fn env_usize_parses() {
+        std::env::set_var("ULBA_TEST_KNOB", "42");
+        assert_eq!(env_usize("ULBA_TEST_KNOB", 7), 42);
+        assert_eq!(env_usize("ULBA_TEST_KNOB_MISSING", 7), 7);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("ULBA_RESULTS", std::env::temp_dir().join("ulba-test-results"));
+        let p = write_csv(
+            "unit-test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let content = std::fs::read_to_string(p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::env::remove_var("ULBA_RESULTS");
+    }
+}

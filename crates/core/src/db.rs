@@ -1,0 +1,168 @@
+//! The per-PE WIR database of §III-C.
+//!
+//! "each PE keeps a database that stores the WIR of every PE. Each PE
+//! evaluates its WIR and propagates it (as well as the most recent WIRs in
+//! its database) to the other PEs using a dissemination algorithm."
+//!
+//! Entries are versioned by the iteration at which they were measured; a
+//! merge keeps the freshest entry per rank (last-writer-wins on iteration,
+//! deterministic tie-break on the value).
+
+use serde::{Deserialize, Serialize};
+
+/// One database entry: the WIR of `rank` as measured at `iteration`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WirEntry {
+    /// The rank this entry describes.
+    pub rank: usize,
+    /// Workload-increase rate (FLOP/iteration).
+    pub wir: f64,
+    /// Iteration at which the WIR was measured (freshness version).
+    pub iteration: u64,
+}
+
+/// A rank-indexed WIR database with freshness-based merging.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirDatabase {
+    entries: Vec<Option<WirEntry>>,
+}
+
+impl WirDatabase {
+    /// An empty database for `size` ranks.
+    pub fn new(size: usize) -> Self {
+        Self { entries: vec![None; size] }
+    }
+
+    /// Number of ranks the database covers.
+    pub fn size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Record (or refresh) an entry. Stale updates (older iteration than the
+    /// stored entry) are ignored; equal-iteration updates overwrite (the
+    /// newest local measurement wins).
+    pub fn update(&mut self, entry: WirEntry) {
+        assert!(entry.rank < self.entries.len(), "rank {} out of range", entry.rank);
+        match &self.entries[entry.rank] {
+            Some(existing) if existing.iteration > entry.iteration => {}
+            _ => self.entries[entry.rank] = Some(entry),
+        }
+    }
+
+    /// Merge every entry of `snapshot` (e.g. received via gossip).
+    pub fn merge(&mut self, snapshot: &[WirEntry]) {
+        for &e in snapshot {
+            self.update(e);
+        }
+    }
+
+    /// The freshest entry known for `rank`.
+    pub fn get(&self, rank: usize) -> Option<WirEntry> {
+        self.entries[rank]
+    }
+
+    /// All known entries (rank order — deterministic).
+    pub fn snapshot(&self) -> Vec<WirEntry> {
+        self.entries.iter().flatten().copied().collect()
+    }
+
+    /// Number of ranks with a known entry.
+    pub fn known_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether every rank has an entry.
+    pub fn is_complete(&self) -> bool {
+        self.known_count() == self.entries.len()
+    }
+
+    /// Dense WIR vector: unknown ranks default to `default` (rank order).
+    pub fn wirs_or(&self, default: f64) -> Vec<f64> {
+        self.entries.iter().map(|e| e.map_or(default, |e| e.wir)).collect()
+    }
+
+    /// Maximum staleness (in iterations) of any known entry relative to
+    /// `current_iteration`; `None` if the database is empty.
+    pub fn max_staleness(&self, current_iteration: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| current_iteration.saturating_sub(e.iteration))
+            .max()
+    }
+
+    /// Wire size of a snapshot of this database, in bytes (used to charge
+    /// gossip communication).
+    pub fn snapshot_bytes(&self) -> usize {
+        self.known_count() * std::mem::size_of::<WirEntry>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(rank: usize, wir: f64, iteration: u64) -> WirEntry {
+        WirEntry { rank, wir, iteration }
+    }
+
+    #[test]
+    fn update_and_get() {
+        let mut db = WirDatabase::new(4);
+        db.update(e(2, 5.0, 10));
+        assert_eq!(db.get(2), Some(e(2, 5.0, 10)));
+        assert_eq!(db.get(0), None);
+        assert_eq!(db.known_count(), 1);
+        assert!(!db.is_complete());
+    }
+
+    #[test]
+    fn freshness_wins() {
+        let mut db = WirDatabase::new(2);
+        db.update(e(0, 1.0, 5));
+        db.update(e(0, 2.0, 3)); // stale: ignored
+        assert_eq!(db.get(0), Some(e(0, 1.0, 5)));
+        db.update(e(0, 3.0, 7)); // fresher: wins
+        assert_eq!(db.get(0), Some(e(0, 3.0, 7)));
+        db.update(e(0, 4.0, 7)); // same iteration: newest measurement wins
+        assert_eq!(db.get(0), Some(e(0, 4.0, 7)));
+    }
+
+    #[test]
+    fn merge_snapshot() {
+        let mut a = WirDatabase::new(3);
+        a.update(e(0, 1.0, 4));
+        let mut b = WirDatabase::new(3);
+        b.update(e(1, 2.0, 6));
+        b.update(e(0, 9.0, 2)); // older than a's entry
+        a.merge(&b.snapshot());
+        assert_eq!(a.get(0), Some(e(0, 1.0, 4)), "stale merge must not regress");
+        assert_eq!(a.get(1), Some(e(1, 2.0, 6)));
+        assert_eq!(a.known_count(), 2);
+    }
+
+    #[test]
+    fn dense_vector_with_default() {
+        let mut db = WirDatabase::new(3);
+        db.update(e(1, 7.0, 1));
+        assert_eq!(db.wirs_or(0.0), vec![0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn staleness() {
+        let mut db = WirDatabase::new(3);
+        assert_eq!(db.max_staleness(10), None);
+        db.update(e(0, 1.0, 4));
+        db.update(e(1, 1.0, 9));
+        assert_eq!(db.max_staleness(10), Some(6));
+    }
+
+    #[test]
+    fn snapshot_is_rank_ordered() {
+        let mut db = WirDatabase::new(4);
+        db.update(e(3, 3.0, 1));
+        db.update(e(1, 1.0, 1));
+        let ranks: Vec<usize> = db.snapshot().iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![1, 3]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Gossip/dissemination of the WIR database (§III-C).
+//!
+//! "one dissemination step is done at each iteration to mitigate the
+//! overhead due to the WIR communication" — relying on the principle of
+//! persistence [Kalé 2002] to tolerate slightly stale entries.
+//!
+//! Peer selection is a pure function of `(mode, rank, size, round, seed)`,
+//! so runs are deterministic and every rank can compute anybody's peers.
+//! The module also contains a round-based, runtime-free simulation used for
+//! convergence tests and the gossip ablation study.
+
+use crate::db::{WirDatabase, WirEntry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How peers are chosen at each dissemination step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GossipMode {
+    /// Deterministic ring: push to `(rank + 1) mod P`. Diameter `P − 1`
+    /// rounds — cheap but slow.
+    Ring,
+    /// Epidemic push to `fanout` random peers per round: converges in
+    /// `O(log P)` rounds with high probability (Demers et al., PODC'87).
+    RandomPush {
+        /// Number of peers contacted per round (≥ 1).
+        fanout: usize,
+    },
+    /// Push to `fanout` random peers *and* to the ring successor: combines
+    /// the worst-case guarantee of the ring with epidemic speed.
+    Hybrid {
+        /// Number of random peers contacted per round (≥ 1).
+        fanout: usize,
+    },
+}
+
+impl GossipMode {
+    /// Upper bound (in rounds) within which dissemination is guaranteed or
+    /// expected w.h.p.; used by tests and by staleness heuristics.
+    pub fn expected_rounds(&self, size: usize) -> usize {
+        match self {
+            GossipMode::Ring => size.saturating_sub(1),
+            // log2(P) push rounds spread a rumor to everyone w.h.p.;
+            // generous constant for small P.
+            GossipMode::RandomPush { .. } | GossipMode::Hybrid { .. } => {
+                (4.0 * (size.max(2) as f64).log2().ceil()) as usize + 4
+            }
+        }
+    }
+}
+
+/// Deterministic peer selection for `rank` at `round`.
+///
+/// Returned peers are distinct and never equal to `rank`. For a single-rank
+/// run the list is empty.
+pub fn select_peers(
+    mode: GossipMode,
+    rank: usize,
+    size: usize,
+    round: u64,
+    seed: u64,
+) -> Vec<usize> {
+    if size <= 1 {
+        return Vec::new();
+    }
+    let ring_next = (rank + 1) % size;
+    match mode {
+        GossipMode::Ring => vec![ring_next],
+        GossipMode::RandomPush { fanout } => {
+            random_peers(rank, size, round, seed, fanout, None)
+        }
+        GossipMode::Hybrid { fanout } => {
+            random_peers(rank, size, round, seed, fanout, Some(ring_next))
+        }
+    }
+}
+
+fn random_peers(
+    rank: usize,
+    size: usize,
+    round: u64,
+    seed: u64,
+    fanout: usize,
+    include: Option<usize>,
+) -> Vec<usize> {
+    assert!(fanout >= 1, "fanout must be at least 1");
+    // Derive a per-(rank, round) stream so peers are independent across
+    // ranks and rounds yet fully reproducible.
+    let stream = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let mut rng = StdRng::seed_from_u64(stream);
+    let mut peers: Vec<usize> = include.into_iter().collect();
+    let want = peers.len() + fanout.min(size - 1);
+    let mut guard = 0;
+    while peers.len() < want && guard < 64 * size {
+        guard += 1;
+        let p = rng.random_range(0..size);
+        if p != rank && !peers.contains(&p) {
+            peers.push(p);
+        }
+    }
+    peers
+}
+
+/// A gossip message: the sender's database snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GossipMessage {
+    /// Entries known to the sender at send time.
+    pub entries: Vec<WirEntry>,
+}
+
+/// Round-based gossip simulation (no runtime needed): every rank starts
+/// knowing only its own entry; returns the number of rounds until all
+/// databases are complete (capped at `max_rounds`).
+pub fn simulate_rounds_to_completion(
+    mode: GossipMode,
+    size: usize,
+    seed: u64,
+    max_rounds: usize,
+) -> Option<usize> {
+    let mut dbs: Vec<WirDatabase> = (0..size)
+        .map(|r| {
+            let mut db = WirDatabase::new(size);
+            db.update(WirEntry { rank: r, wir: r as f64, iteration: 0 });
+            db
+        })
+        .collect();
+    if dbs.iter().all(|d| d.is_complete()) {
+        return Some(0);
+    }
+    for round in 0..max_rounds {
+        // Synchronous rounds: all sends use the start-of-round snapshots.
+        let snapshots: Vec<Vec<WirEntry>> = dbs.iter().map(|d| d.snapshot()).collect();
+        for (rank, snapshot) in snapshots.iter().enumerate() {
+            for peer in select_peers(mode, rank, size, round as u64, seed) {
+                dbs[peer].merge(snapshot);
+            }
+        }
+        if dbs.iter().all(|d| d.is_complete()) {
+            return Some(round + 1);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_peer_is_successor() {
+        assert_eq!(select_peers(GossipMode::Ring, 3, 8, 0, 0), vec![4]);
+        assert_eq!(select_peers(GossipMode::Ring, 7, 8, 5, 9), vec![0]);
+    }
+
+    #[test]
+    fn single_rank_no_peers() {
+        for mode in
+            [GossipMode::Ring, GossipMode::RandomPush { fanout: 2 }, GossipMode::Hybrid { fanout: 1 }]
+        {
+            assert!(select_peers(mode, 0, 1, 0, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn random_peers_valid_and_deterministic() {
+        let mode = GossipMode::RandomPush { fanout: 3 };
+        let a = select_peers(mode, 5, 32, 7, 42);
+        let b = select_peers(mode, 5, 32, 7, 42);
+        assert_eq!(a, b, "peer selection must be deterministic");
+        assert_eq!(a.len(), 3);
+        for &p in &a {
+            assert_ne!(p, 5);
+            assert!(p < 32);
+        }
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "peers must be distinct");
+    }
+
+    #[test]
+    fn different_rounds_different_peers() {
+        let mode = GossipMode::RandomPush { fanout: 2 };
+        let rounds: Vec<Vec<usize>> =
+            (0..8).map(|r| select_peers(mode, 0, 64, r, 1)).collect();
+        assert!(
+            rounds.windows(2).any(|w| w[0] != w[1]),
+            "peer choices should vary across rounds"
+        );
+    }
+
+    #[test]
+    fn fanout_capped_by_size() {
+        let peers = select_peers(GossipMode::RandomPush { fanout: 10 }, 0, 4, 0, 0);
+        assert_eq!(peers.len(), 3, "cannot contact more peers than exist");
+    }
+
+    #[test]
+    fn hybrid_includes_ring_successor() {
+        let peers = select_peers(GossipMode::Hybrid { fanout: 2 }, 6, 16, 3, 5);
+        assert!(peers.contains(&7));
+        assert_eq!(peers.len(), 3);
+    }
+
+    #[test]
+    fn ring_completes_in_exactly_p_minus_1() {
+        for size in [2usize, 5, 16] {
+            let rounds = simulate_rounds_to_completion(GossipMode::Ring, size, 0, 2 * size);
+            assert_eq!(rounds, Some(size - 1), "size {size}");
+        }
+    }
+
+    #[test]
+    fn random_push_completes_within_expected_bound() {
+        for size in [8usize, 32, 128] {
+            let mode = GossipMode::RandomPush { fanout: 2 };
+            let bound = mode.expected_rounds(size);
+            let rounds =
+                simulate_rounds_to_completion(mode, size, 13, bound).expect("converged");
+            assert!(rounds <= bound, "size {size}: {rounds} > {bound}");
+        }
+    }
+
+    #[test]
+    fn hybrid_no_slower_than_ring() {
+        let size = 64;
+        let ring =
+            simulate_rounds_to_completion(GossipMode::Ring, size, 3, size).unwrap();
+        let hybrid = simulate_rounds_to_completion(
+            GossipMode::Hybrid { fanout: 1 },
+            size,
+            3,
+            size,
+        )
+        .unwrap();
+        assert!(hybrid <= ring);
+    }
+
+    #[test]
+    fn single_rank_converges_in_zero_rounds() {
+        assert_eq!(simulate_rounds_to_completion(GossipMode::Ring, 1, 0, 1), Some(0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Load-balancing policies: the standard method, ULBA with a fixed α
+//! (the paper), and ULBA with a z-score-scaled per-PE α (the paper's
+//! announced future work, provided here as an extension for the ablation
+//! study E-A2).
+
+use crate::outlier::{DetectionStat, DEFAULT_Z_THRESHOLD};
+use serde::{Deserialize, Serialize};
+
+/// How an overloading PE picks its α when calling the load balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AlphaRule {
+    /// The paper's rule: a user-defined constant α for every overloading PE
+    /// (§III-A: "we consider that α is constant and user defined").
+    Fixed(f64),
+    /// Extension: scale α with how much of an outlier the PE is —
+    /// `α = α_max · min(1, (z − threshold)/threshold)` for `z > threshold`.
+    /// Stronger overloaders are unloaded more aggressively, as §IV-B's
+    /// discussion suggests α should be adapted at runtime.
+    ZScoreScaled {
+        /// Maximum α handed to an extreme outlier.
+        alpha_max: f64,
+    },
+}
+
+/// Full ULBA configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UlbaConfig {
+    /// How α is chosen for overloading PEs.
+    pub rule: AlphaRule,
+    /// Outlier threshold on the WIR z-score (paper: 3.0).
+    pub z_threshold: f64,
+    /// Which detection statistic to use (paper: plain z-score).
+    pub stat: DetectionStat,
+}
+
+impl UlbaConfig {
+    /// The paper's configuration: fixed α, z-score threshold 3.0.
+    pub fn fixed(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Self {
+            rule: AlphaRule::Fixed(alpha),
+            z_threshold: DEFAULT_Z_THRESHOLD,
+            stat: DetectionStat::ZScore,
+        }
+    }
+
+    /// The dynamic-α extension with the given cap.
+    pub fn z_scaled(alpha_max: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha_max));
+        Self {
+            rule: AlphaRule::ZScoreScaled { alpha_max },
+            z_threshold: DEFAULT_Z_THRESHOLD,
+            stat: DetectionStat::ZScore,
+        }
+    }
+
+    /// α this PE submits given its WIR z-score (0 when not overloading).
+    pub fn alpha_for(&self, z: f64) -> f64 {
+        if z <= self.z_threshold {
+            return 0.0;
+        }
+        match self.rule {
+            AlphaRule::Fixed(alpha) => alpha,
+            AlphaRule::ZScoreScaled { alpha_max } => {
+                alpha_max * ((z - self.z_threshold) / self.z_threshold).min(1.0)
+            }
+        }
+    }
+}
+
+/// The top-level method selector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LbPolicy {
+    /// The standard method: every PE submits α = 0 (perfect even split).
+    Standard,
+    /// ULBA: overloading PEs submit their α per the configuration.
+    Ulba(UlbaConfig),
+}
+
+impl LbPolicy {
+    /// The paper's ULBA with a fixed α.
+    pub fn ulba_fixed(alpha: f64) -> Self {
+        LbPolicy::Ulba(UlbaConfig::fixed(alpha))
+    }
+
+    /// α this PE submits at an LB step given its WIR z-score.
+    pub fn alpha_for(&self, z: f64) -> f64 {
+        match self {
+            LbPolicy::Standard => 0.0,
+            LbPolicy::Ulba(cfg) => cfg.alpha_for(z),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LbPolicy::Standard => "standard",
+            LbPolicy::Ulba(UlbaConfig { rule: AlphaRule::Fixed(_), .. }) => "ulba-fixed",
+            LbPolicy::Ulba(UlbaConfig { rule: AlphaRule::ZScoreScaled { .. }, .. }) => {
+                "ulba-zscaled"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_always_zero() {
+        let p = LbPolicy::Standard;
+        assert_eq!(p.alpha_for(100.0), 0.0);
+        assert_eq!(p.name(), "standard");
+    }
+
+    #[test]
+    fn fixed_alpha_gated_by_threshold() {
+        let p = LbPolicy::ulba_fixed(0.4);
+        assert_eq!(p.alpha_for(2.9), 0.0, "below threshold: not overloading");
+        assert_eq!(p.alpha_for(3.1), 0.4);
+        assert_eq!(p.alpha_for(50.0), 0.4, "fixed rule ignores magnitude");
+    }
+
+    #[test]
+    fn z_scaled_grows_with_outlierness() {
+        let cfg = UlbaConfig::z_scaled(0.8);
+        assert_eq!(cfg.alpha_for(3.0), 0.0);
+        let a4 = cfg.alpha_for(4.0);
+        let a6 = cfg.alpha_for(6.0);
+        assert!(a4 > 0.0 && a4 < a6);
+        assert!((a6 - 0.8).abs() < 1e-12, "z = 2·threshold saturates at alpha_max");
+        assert_eq!(cfg.alpha_for(100.0), 0.8, "capped");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn rejects_out_of_range_alpha() {
+        UlbaConfig::fixed(1.5);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LbPolicy::ulba_fixed(0.4).name(), "ulba-fixed");
+        assert_eq!(LbPolicy::Ulba(UlbaConfig::z_scaled(0.5)).name(), "ulba-zscaled");
+    }
+}

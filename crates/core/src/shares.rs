@@ -1,0 +1,170 @@
+//! Target workload shares (Algorithm 2, lines 6–14) and the majority rule.
+//!
+//! At an LB step every PE submits its α (0 when it does not consider itself
+//! overloading). The main PE computes, for each PE, the fraction of the
+//! total workload it should own after balancing:
+//!
+//! * overloading PE `p` (`α_p > 0`): `w_p = (1 − α_p)/P`;
+//! * non-overloading PE: an equal share of the fair part *plus* an equal
+//!   share of everything the overloaders gave up, i.e.
+//!   `w_p = (1 + Σ_q α_q / (P − N)) / P`.
+//!
+//! With a uniform α this reduces exactly to Eq. (6)'s
+//! `(1 + αN/(P−N))/P`. (Algorithm 2's line 12 literally reads
+//! `(1 + A_p·N/(P−N))·Wtot/P` with `A_p = 0` for non-overloaders, which
+//! would leave the surrendered workload unassigned; we implement the
+//! mass-conserving form above, which is what Eq. (6) and Fig. 1 specify.)
+//!
+//! If at least 50 % of the PEs declare themselves overloading, the step
+//! falls back to the standard method (all shares equal): "it is
+//! counter-productive to unload a majority of PEs" (§III-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the share computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShareDecision {
+    /// Per-PE target fraction of the total workload (sums to 1).
+    pub shares: Vec<f64>,
+    /// Number of PEs treated as overloading (`N`).
+    pub overloading: usize,
+    /// Whether the majority rule forced a fallback to the standard method.
+    pub majority_fallback: bool,
+}
+
+/// Compute the target shares from the gathered per-PE α values.
+///
+/// `alphas[p] > 0` marks PE `p` as overloading with that α; values are
+/// clamped to `[0, 1]`.
+pub fn compute_shares(alphas: &[f64]) -> ShareDecision {
+    let p = alphas.len();
+    assert!(p > 0, "need at least one PE");
+    let clamped: Vec<f64> = alphas.iter().map(|a| a.clamp(0.0, 1.0)).collect();
+    let n = clamped.iter().filter(|&&a| a > 0.0).count();
+
+    // Majority rule: unloading ≥ 50 % of the machine is counter-productive.
+    let majority_fallback = n > 0 && 2 * n >= p;
+    if n == 0 || majority_fallback {
+        return ShareDecision {
+            shares: vec![1.0 / p as f64; p],
+            overloading: if majority_fallback { n } else { 0 },
+            majority_fallback,
+        };
+    }
+
+    let surrendered: f64 = clamped.iter().sum(); // Σ α_q (α_q = 0 elsewhere)
+    let bonus = surrendered / (p - n) as f64;
+    let shares: Vec<f64> = clamped
+        .iter()
+        .map(|&a| {
+            if a > 0.0 {
+                (1.0 - a) / p as f64
+            } else {
+                (1.0 + bonus) / p as f64
+            }
+        })
+        .collect();
+    debug_assert!(
+        (shares.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+        "shares must conserve the workload"
+    );
+    ShareDecision { shares, overloading: n, majority_fallback: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zero_alphas_is_even_split() {
+        let d = compute_shares(&[0.0; 8]);
+        assert_eq!(d.overloading, 0);
+        assert!(!d.majority_fallback);
+        for s in &d.shares {
+            assert!((s - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_alpha_matches_eq6() {
+        // P = 10, N = 2, α = 0.4: overloaders (1−0.4)/10 = 0.06;
+        // others (1 + 0.4·2/8)/10 = 0.11.
+        let mut alphas = vec![0.0; 10];
+        alphas[3] = 0.4;
+        alphas[7] = 0.4;
+        let d = compute_shares(&alphas);
+        assert_eq!(d.overloading, 2);
+        assert!((d.shares[3] - 0.06).abs() < 1e-12);
+        assert!((d.shares[7] - 0.06).abs() < 1e-12);
+        assert!((d.shares[0] - 0.11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_alphas_conserve_mass() {
+        let mut alphas = vec![0.0; 16];
+        alphas[0] = 0.9;
+        alphas[5] = 0.3;
+        alphas[11] = 0.55;
+        let d = compute_shares(&alphas);
+        assert!((d.shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Each overloader keeps exactly (1 − α)/P.
+        assert!((d.shares[0] - 0.1 / 16.0).abs() < 1e-12);
+        assert!((d.shares[5] - 0.7 / 16.0).abs() < 1e-12);
+        // Non-overloaders all get the same bonus.
+        assert_eq!(d.shares[1], d.shares[2]);
+        assert!(d.shares[1] > 1.0 / 16.0);
+    }
+
+    #[test]
+    fn majority_rule_falls_back_to_standard() {
+        // 4 of 8 overloading: exactly 50 % → fallback.
+        let mut alphas = vec![0.0; 8];
+        for a in alphas.iter_mut().take(4) {
+            *a = 0.5;
+        }
+        let d = compute_shares(&alphas);
+        assert!(d.majority_fallback);
+        for s in &d.shares {
+            assert!((s - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn just_under_majority_is_applied() {
+        // 3 of 8 (37.5 %): ULBA proceeds.
+        let mut alphas = vec![0.0; 8];
+        for a in alphas.iter_mut().take(3) {
+            *a = 0.5;
+        }
+        let d = compute_shares(&alphas);
+        assert!(!d.majority_fallback);
+        assert_eq!(d.overloading, 3);
+        assert!(d.shares[0] < d.shares[4]);
+    }
+
+    #[test]
+    fn alpha_one_empties_the_pe() {
+        let mut alphas = vec![0.0; 4];
+        alphas[2] = 1.0;
+        let d = compute_shares(&alphas);
+        assert_eq!(d.shares[2], 0.0);
+        assert!((d.shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_alphas_clamped() {
+        let mut alphas = vec![0.0; 4];
+        alphas[0] = 7.5; // clamped to 1
+        let d = compute_shares(&alphas);
+        assert_eq!(d.shares[0], 0.0);
+        assert!((d.shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_pe_machine() {
+        let d = compute_shares(&[0.8]);
+        // A single PE is trivially the majority: fallback, share 1.
+        assert!(d.majority_fallback);
+        assert_eq!(d.shares, vec![1.0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Workload-increase-rate (WIR) estimation.
+//!
+//! §III-C: "each PE evaluates its WIR" from its observed per-iteration
+//! workload. The estimator keeps a sliding window of `(iteration, workload)`
+//! samples and fits the rate by ordinary least squares, which smooths the
+//! noise of probabilistic applications (like the erosion proxy) while
+//! remaining responsive. With exactly two samples it degenerates to the
+//! finite difference.
+
+use std::collections::VecDeque;
+
+/// Sliding-window least-squares estimator of a quantity's growth rate per
+/// iteration.
+#[derive(Debug, Clone)]
+pub struct WirEstimator {
+    window: usize,
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl WirEstimator {
+    /// Estimator keeping the last `window` samples (`window ≥ 2`).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "need at least two samples to estimate a rate");
+        Self { window, samples: VecDeque::with_capacity(window) }
+    }
+
+    /// Record the workload observed at `iteration`.
+    pub fn push(&mut self, iteration: u64, workload: f64) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((iteration as f64, workload));
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Latest recorded sample, if any.
+    pub fn latest(&self) -> Option<(u64, f64)> {
+        self.samples.back().map(|&(i, w)| (i as u64, w))
+    }
+
+    /// The least-squares slope (workload per iteration) over the window.
+    ///
+    /// Returns `None` with fewer than two samples or when all samples share
+    /// one iteration index.
+    pub fn rate(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for &(x, y) in &self.samples {
+            sx += x;
+            sy += y;
+        }
+        let (mx, my) = (sx / nf, sy / nf);
+        let (mut sxx, mut sxy) = (0.0, 0.0);
+        for &(x, y) in &self.samples {
+            sxx += (x - mx) * (x - mx);
+            sxy += (x - mx) * (y - my);
+        }
+        if sxx == 0.0 {
+            return None;
+        }
+        Some(sxy / sxx)
+    }
+
+    /// Drop all samples (e.g. after a migration invalidates history).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_linear_series() {
+        let mut est = WirEstimator::new(8);
+        for i in 0..8u64 {
+            est.push(i, 100.0 + 7.5 * i as f64);
+        }
+        assert!((est.rate().unwrap() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_samples_finite_difference() {
+        let mut est = WirEstimator::new(4);
+        est.push(10, 50.0);
+        est.push(11, 53.0);
+        assert!((est.rate().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insufficient_samples_none() {
+        let mut est = WirEstimator::new(4);
+        assert!(est.rate().is_none());
+        est.push(0, 1.0);
+        assert!(est.rate().is_none());
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut est = WirEstimator::new(3);
+        // Old regime: slope 0; new regime: slope 10. After 3 new samples the
+        // old ones must be forgotten.
+        for i in 0..5u64 {
+            est.push(i, 100.0);
+        }
+        for i in 5..8u64 {
+            est.push(i, 100.0 + 10.0 * (i - 4) as f64);
+        }
+        assert_eq!(est.len(), 3);
+        assert!((est.rate().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_series_recovers_trend() {
+        let mut est = WirEstimator::new(16);
+        // slope 5 with deterministic ±1 noise
+        for i in 0..16u64 {
+            let noise = if i % 2 == 0 { 1.0 } else { -1.0 };
+            est.push(i, 5.0 * i as f64 + noise);
+        }
+        let r = est.rate().unwrap();
+        assert!((r - 5.0).abs() < 0.2, "rate {r}");
+    }
+
+    #[test]
+    fn degenerate_same_iteration() {
+        let mut est = WirEstimator::new(4);
+        est.push(3, 1.0);
+        est.push(3, 2.0);
+        assert!(est.rate().is_none());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut est = WirEstimator::new(4);
+        est.push(0, 1.0);
+        est.push(1, 2.0);
+        est.reset();
+        assert!(est.is_empty());
+        assert!(est.rate().is_none());
+    }
+}

@@ -1,0 +1,527 @@
+//! The full distributed erosion application (§IV-B), wiring the mesh
+//! dynamics to the ULBA machinery on the SPMD runtime.
+//!
+//! Per iteration, each rank:
+//!
+//! 1. exchanges halo columns with its neighbours and refreshes the exposure
+//!    of its boundary columns;
+//! 2. charges the fluid compute (`fluid weight × FLOP/cell`) plus a small
+//!    frontier-scan term;
+//! 3. executes the probabilistic erosion step (real state mutation);
+//! 4. updates its WIR estimate and performs one gossip dissemination step;
+//! 5. joins the iteration-end `allgather` carrying `(elapsed, workload)` —
+//!    the max elapsed is the iteration wall time fed to the trigger;
+//! 6. learns (via broadcast from rank 0) whether to run the LB step; if so,
+//!    computes its α from its WIR z-score (Algorithm 1), joins the
+//!    centralized rebalancing (Algorithm 2), migrates columns, and the
+//!    measured cost updates the trigger's EWMA LB-cost model.
+
+use crate::config::{ErosionConfig, TriggerKind};
+use crate::erode::erosion_step;
+use crate::geometry::Geometry;
+use crate::stripe::{exchange_halos, migrate, Stripe};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use ulba_core::balancer::centralized_rebalance;
+use ulba_core::db::{WirDatabase, WirEntry};
+use ulba_core::gossip::select_peers;
+use ulba_core::outlier::{robust_z_scores, z_scores, DetectionStat};
+use ulba_core::partition::predicted_weights;
+use ulba_core::policy::LbPolicy;
+use ulba_core::trigger::{
+    LbCostModel, LbTrigger, MenonTrigger, NeverTrigger, PeriodicTrigger, ZhaiTrigger,
+};
+use ulba_core::wir::WirEstimator;
+use ulba_runtime::{run, IterationStats, MachineSpec, RankMetrics, RunConfig, Tag};
+
+/// Message tag of gossip snapshots.
+pub const GOSSIP_TAG: Tag = 0x474F;
+/// FLOP charged per exposed frontier cell per iteration (neighbour scan +
+/// probability sampling).
+pub const FRONTIER_FLOP: f64 = 16.0;
+
+/// Everything measured over one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Virtual makespan in seconds (the paper's "Time [s]" axis).
+    pub makespan: f64,
+    /// Number of LB steps performed.
+    pub lb_calls: usize,
+    /// Iterations at which LB steps happened.
+    pub lb_iterations: Vec<u64>,
+    /// Per-iteration wall time / mean utilization series (Fig. 4b).
+    pub iterations: Vec<IterationStats>,
+    /// Average PE utilization over the whole run.
+    pub mean_utilization: f64,
+    /// Final total fluid weight (workload units) across ranks.
+    pub final_total_weight: u64,
+    /// Total rock cells eroded.
+    pub total_eroded: u64,
+    /// Final per-rank time accounting.
+    pub rank_metrics: Vec<RankMetrics>,
+}
+
+/// Deterministically pick which rock discs are strongly erodible
+/// ("It is not known in advance where the rocks with a high eroding
+/// probability are located" — unknown to the PEs, fixed by the seed).
+pub fn choose_strong_rocks(cfg: &ErosionConfig) -> Vec<u16> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x57F0_4C0C);
+    let mut ids: Vec<u16> = (0..cfg.ranks as u16).collect();
+    // Partial Fisher–Yates: the first `strong_rocks` entries.
+    for i in 0..cfg.strong_rocks.min(cfg.ranks) {
+        let j = rng.random_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    let mut strong: Vec<u16> = ids[..cfg.strong_rocks.min(cfg.ranks)].to_vec();
+    strong.sort_unstable();
+    strong
+}
+
+enum AppTrigger {
+    Zhai(ZhaiTrigger),
+    Menon(MenonTrigger),
+    Periodic(PeriodicTrigger),
+    Never(NeverTrigger),
+}
+
+impl AppTrigger {
+    fn build(kind: TriggerKind, initial_cost: f64) -> Self {
+        match kind {
+            TriggerKind::Zhai => {
+                AppTrigger::Zhai(ZhaiTrigger::new(LbCostModel::default().with_initial(initial_cost)))
+            }
+            TriggerKind::Menon { max_interval } => AppTrigger::Menon(MenonTrigger::new(
+                LbCostModel::default().with_initial(initial_cost),
+                max_interval,
+            )),
+            TriggerKind::Periodic(p) => AppTrigger::Periodic(PeriodicTrigger::new(p)),
+            TriggerKind::Never => AppTrigger::Never(NeverTrigger),
+        }
+    }
+
+    fn observe(&mut self, iter: u64, t: f64) -> bool {
+        match self {
+            AppTrigger::Zhai(t0) => t0.observe(iter, t),
+            AppTrigger::Menon(t0) => t0.observe(iter, t),
+            AppTrigger::Periodic(t0) => t0.observe(iter, t),
+            AppTrigger::Never(t0) => t0.observe(iter, t),
+        }
+    }
+
+    fn lb_completed(&mut self, iter: u64, cost: f64) {
+        match self {
+            AppTrigger::Zhai(t) => t.lb_completed(iter, cost),
+            AppTrigger::Menon(t) => t.lb_completed(iter, cost),
+            AppTrigger::Periodic(t) => t.lb_completed(iter, cost),
+            AppTrigger::Never(t) => t.lb_completed(iter, cost),
+        }
+    }
+
+    fn set_overhead_estimate(&mut self, overhead: f64) {
+        if let AppTrigger::Zhai(t) = self {
+            t.set_overhead_estimate(overhead);
+        }
+    }
+}
+
+/// Outlier scores for the policy's configured detection statistic
+/// (the paper's plain z-score by default; median/MAD optional).
+fn scores_for(policy: &LbPolicy, wirs: &[f64]) -> Vec<f64> {
+    match policy {
+        LbPolicy::Ulba(cfg) if cfg.stat == DetectionStat::RobustZScore => {
+            robust_z_scores(wirs)
+        }
+        _ => z_scores(wirs),
+    }
+}
+
+/// ULBA overhead anticipated for the next LB step (Eq. (11)), estimated on
+/// rank 0 from its gossip database: `ᾱ·N̂/(P − N̂) · Wtot/(ω·P)`.
+fn estimate_overhead(
+    policy: &LbPolicy,
+    db: &WirDatabase,
+    wtot_flops: f64,
+    omega: f64,
+    p: usize,
+) -> f64 {
+    let LbPolicy::Ulba(cfg) = policy else {
+        return 0.0;
+    };
+    let wirs = db.wirs_or(0.0);
+    let zs = scores_for(policy, &wirs);
+    let alphas: Vec<f64> =
+        zs.iter().map(|&z| cfg.alpha_for(z)).filter(|&a| a > 0.0).collect();
+    let n_hat = alphas.len();
+    if n_hat == 0 || n_hat >= p {
+        return 0.0;
+    }
+    let alpha_bar = alphas.iter().sum::<f64>() / n_hat as f64;
+    alpha_bar * n_hat as f64 / (p - n_hat) as f64 * wtot_flops / (omega * p as f64)
+}
+
+/// Run one erosion experiment and collect its measurements.
+pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
+    cfg.validate().expect("invalid erosion config");
+    let geometry =
+        Geometry::new(cfg.ranks, cfg.cols_per_pe, cfg.height, cfg.rock_radius);
+    let strong = choose_strong_rocks(cfg);
+    let spec = MachineSpec::homogeneous(cfg.omega);
+    let extras: Mutex<Option<(u64, u64)>> = Mutex::new(None);
+
+    let report = run(RunConfig::new(cfg.ranks).with_spec(spec), |ctx| {
+        let rank = ctx.rank();
+        let p = ctx.size();
+        let prob_of = |id: u16| {
+            if strong.binary_search(&id).is_ok() {
+                cfg.p_strong
+            } else {
+                cfg.p_weak
+            }
+        };
+
+        let mut stripe = Stripe::initial(
+            &geometry,
+            rank * cfg.cols_per_pe..(rank + 1) * cfg.cols_per_pe,
+        );
+        let mut wir = WirEstimator::new(cfg.wir_window);
+        let mut db = WirDatabase::new(p);
+        // The trigger lives on rank 0 (decisions are broadcast); it is
+        // created at iteration 0 once the first wall time seeds the LB-cost
+        // estimate.
+        let mut trigger: Option<AppTrigger> = None;
+        let mut eroded_total = 0u64;
+        // Per-column weight history for anticipatory partitioning: weights
+        // by global column index as of `history_iter`.
+        let mut history: HashMap<usize, u64> = HashMap::new();
+        let mut history_iter = 0u64;
+        if cfg.anticipatory_partitioning {
+            for (i, w) in stripe.col_weights().into_iter().enumerate() {
+                history.insert(stripe.first_col() + i, w);
+            }
+        }
+
+        for iter in 0..cfg.iterations {
+            let iter_start = ctx.now();
+
+            // (1) Halo exchange + boundary exposure refresh.
+            let halos = exchange_halos(ctx, &stripe);
+            stripe.refresh_boundary_exposure(halos.left.as_deref(), halos.right.as_deref());
+
+            // (2) Fluid compute + frontier scan (charged).
+            let workload_flops = stripe.fluid_weight() as f64 * cfg.flop_per_cell;
+            ctx.compute(workload_flops + stripe.exposed_count() as f64 * FRONTIER_FLOP);
+
+            // (3) Erosion dynamics (actual state mutation).
+            let first_col = stripe.first_col();
+            let delta = erosion_step(
+                stripe.cols_mut(),
+                first_col,
+                halos.left.as_deref(),
+                halos.right.as_deref(),
+                cfg.seed,
+                iter,
+                &prob_of,
+            );
+            eroded_total += delta.eroded as u64;
+
+            // (4) WIR measurement + one gossip dissemination step.
+            wir.push(iter, workload_flops);
+            if let Some(rate) = wir.rate() {
+                db.update(WirEntry { rank, wir: rate, iteration: iter });
+            }
+            let snapshot_bytes = db.snapshot_bytes();
+            for peer in select_peers(cfg.gossip, rank, p, iter, cfg.seed) {
+                ctx.send(peer, GOSSIP_TAG, db.snapshot(), snapshot_bytes);
+            }
+
+            // (5) Iteration-end sync: share (elapsed, workload).
+            let elapsed = ctx.now() - iter_start;
+            let stats = ctx.allgather((elapsed, workload_flops), 16);
+            let t_iter = stats.iter().map(|s| s.0).fold(0.0f64, f64::max);
+            let wtot_flops: f64 = stats.iter().map(|s| s.1).sum();
+
+            // Drain gossip *after* the rendezvous: every message posted this
+            // iteration is now guaranteed present, so the merged set (and
+            // with it every LB decision) is deterministic.
+            for (_, snap) in ctx.drain::<Vec<WirEntry>>(GOSSIP_TAG) {
+                db.merge(&snap);
+            }
+
+            if rank == 0 && std::env::var_os("ULBA_DEBUG2").is_some() && iter % 8 == 0 {
+                let (argmax, &(tmax, w)) = stats
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+                    .expect("non-empty");
+                eprintln!("[it {iter}] max rank {argmax} t={tmax:.4} w={w:.3e}");
+            }
+
+            // (6) LB decision on rank 0, broadcast to everyone.
+            let my_flag = if rank == 0 {
+                let trig = trigger.get_or_insert_with(|| {
+                    AppTrigger::build(cfg.trigger, cfg.initial_lb_cost_factor * t_iter)
+                });
+                trig.set_overhead_estimate(estimate_overhead(
+                    &cfg.policy,
+                    &db,
+                    wtot_flops,
+                    cfg.omega,
+                    p,
+                ));
+                Some(trig.observe(iter, t_iter))
+            } else {
+                None
+            };
+            let lb_now = ctx.broadcast(0, my_flag, 1);
+            ctx.mark_iteration(iter);
+
+            // (7) The LB step (Algorithms 1–2 + migration).
+            if lb_now && iter + 1 < cfg.iterations {
+                ctx.begin_lb();
+                let lb_started = ctx.now();
+                // Fixed per-call overhead restoring the paper's LB-cost
+                // regime (see ErosionConfig::lb_fixed_cost_factor), plus the
+                // root's cell-granularity repartitioning walk (grows with P).
+                ctx.elapse_lb(cfg.lb_fixed_cost_secs());
+                if rank == 0 {
+                    ctx.elapse_lb(cfg.lb_root_walk_secs());
+                }
+                let wirs = db.wirs_or(0.0);
+                let my_z = scores_for(&cfg.policy, &wirs)[rank];
+                let my_alpha = cfg.policy.alpha_for(my_z);
+                // Optionally extrapolate column weights over the expected
+                // next interval (persistence: ≈ the last interval length).
+                let current_weights = stripe.col_weights();
+                let split_weights = if cfg.anticipatory_partitioning {
+                    let elapsed_iters = (iter - history_iter).max(1) as f64;
+                    let rates: Vec<f64> = current_weights
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &w)| {
+                            let global = stripe.first_col() + i;
+                            match history.get(&global) {
+                                Some(&old) => (w as f64 - old as f64) / elapsed_iters,
+                                None => 0.0, // migrated in: no history yet
+                            }
+                        })
+                        .collect();
+                    predicted_weights(&current_weights, &rates, elapsed_iters)
+                } else {
+                    current_weights.clone()
+                };
+                let outcome =
+                    centralized_rebalance(ctx, my_alpha, stripe.first_col(), &split_weights);
+                let partition = outcome.partition.clone().ensure_nonempty();
+                let old: Vec<std::ops::Range<usize>> = ctx
+                    .allgather((stripe.first_col(), stripe.len()), 16)
+                    .into_iter()
+                    .map(|(s, l)| s..s + l)
+                    .collect();
+                stripe = migrate(ctx, stripe, &old, &partition);
+                let measured = ctx.now() - lb_started;
+                let cost = ctx.allreduce_max(measured);
+                ctx.end_lb();
+                if rank == 0 {
+                    if std::env::var_os("ULBA_DEBUG3").is_some() {
+                        let wirs = db.wirs_or(0.0);
+                        let zs = z_scores(&wirs);
+                        let mut top: Vec<(usize, f64, f64)> = wirs
+                            .iter()
+                            .zip(&zs)
+                            .enumerate()
+                            .map(|(r, (&w, &z))| (r, w, z))
+                            .collect();
+                        top.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+                        eprintln!("[wir] iter={iter} top: {:?}", &top[..4.min(top.len())]);
+                    }
+                    if std::env::var_os("ULBA_DEBUG").is_some() {
+                        eprintln!(
+                            "[lb] iter={iter} measured_cost={cost:.4}s alpha_root={my_alpha:.2} \
+                             N={} fallback={} bounds[28..32]={:?}",
+                            outcome.decision.overloading,
+                            outcome.decision.majority_fallback,
+                            &partition.bounds()[28.min(p)..]
+                        );
+                    }
+                    if let Some(trig) = trigger.as_mut() {
+                        trig.lb_completed(iter, cost);
+                    }
+                    ctx.mark_lb_event(iter);
+                }
+                // Workload jumped with the migration: restart the local WIR
+                // estimate (the persistence principle applies *between* LB
+                // steps).
+                wir.reset();
+                if cfg.anticipatory_partitioning {
+                    history.clear();
+                    for (i, w) in stripe.col_weights().into_iter().enumerate() {
+                        history.insert(stripe.first_col() + i, w);
+                    }
+                    history_iter = iter;
+                }
+            }
+        }
+
+        // Final accounting.
+        let final_weight = ctx.allreduce_sum(stripe.fluid_weight() as f64) as u64;
+        let eroded = ctx.allreduce_sum(eroded_total as f64) as u64;
+        if rank == 0 {
+            *extras.lock() = Some((final_weight, eroded));
+        }
+    });
+
+    let (final_total_weight, total_eroded) =
+        extras.into_inner().expect("rank 0 recorded the extras");
+    ExperimentResult {
+        makespan: report.makespan().as_secs(),
+        lb_calls: report.lb_call_count(),
+        lb_iterations: report.lb_iterations.clone(),
+        mean_utilization: report.mean_utilization(),
+        iterations: report.iterations,
+        final_total_weight,
+        total_eroded,
+        rank_metrics: report.rank_metrics,
+    }
+}
+
+/// Run the same configuration under several seeds and return the median
+/// makespan result (the paper compares "the median running time among five
+/// runs").
+pub fn run_erosion_median(cfg: &ErosionConfig, seeds: &[u64]) -> ExperimentResult {
+    assert!(!seeds.is_empty());
+    let mut results: Vec<ExperimentResult> = seeds
+        .iter()
+        .map(|&s| {
+            let mut c = cfg.clone();
+            c.seed = s;
+            run_erosion(&c)
+        })
+        .collect();
+    results.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).expect("finite"));
+    results.swap_remove(results.len() / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulba_core::gossip::GossipMode;
+
+    #[test]
+    fn strong_rock_choice_is_deterministic_and_distinct() {
+        let cfg = ErosionConfig::tiny(8, 3);
+        let a = choose_strong_rocks(&cfg);
+        let b = choose_strong_rocks(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+        assert!(a.iter().all(|&id| id < 8));
+    }
+
+    #[test]
+    fn different_seeds_choose_differently() {
+        let mut cfg = ErosionConfig::tiny(8, 2);
+        let a = choose_strong_rocks(&cfg);
+        cfg.seed ^= 0xFFFF;
+        let b = choose_strong_rocks(&cfg);
+        // Not guaranteed different, but with 28 possible pairs it is for
+        // these fixed seeds.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tiny_run_completes_with_standard_policy() {
+        let mut cfg = ErosionConfig::tiny(4, 1);
+        cfg.policy = LbPolicy::Standard;
+        let res = run_erosion(&cfg);
+        assert!(res.makespan > 0.0);
+        assert_eq!(res.iterations.len(), cfg.iterations as usize);
+        assert!(res.total_eroded > 0, "the strong rock must erode");
+        assert!(res.mean_utilization > 0.2 && res.mean_utilization <= 1.0);
+    }
+
+    #[test]
+    fn tiny_run_completes_with_ulba_policy() {
+        let cfg = ErosionConfig::tiny(4, 1); // default policy: ULBA α = 0.4
+        let res = run_erosion(&cfg);
+        assert!(res.makespan > 0.0);
+        assert_eq!(res.iterations.len(), cfg.iterations as usize);
+    }
+
+    #[test]
+    fn physics_identical_across_policies() {
+        // Stateless erosion sampling: the eroded-cell count and final weight
+        // must be identical regardless of the LB policy.
+        let mut std_cfg = ErosionConfig::tiny(4, 1);
+        std_cfg.policy = LbPolicy::Standard;
+        let ulba_cfg = ErosionConfig::tiny(4, 1);
+        let a = run_erosion(&std_cfg);
+        let b = run_erosion(&ulba_cfg);
+        assert_eq!(a.total_eroded, b.total_eroded);
+        assert_eq!(a.final_total_weight, b.final_total_weight);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = ErosionConfig::tiny(4, 1);
+        let a = run_erosion(&cfg);
+        let b = run_erosion(&cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.lb_iterations, b.lb_iterations);
+        assert_eq!(a.total_eroded, b.total_eroded);
+    }
+
+    #[test]
+    fn never_trigger_never_balances() {
+        let mut cfg = ErosionConfig::tiny(4, 1);
+        cfg.trigger = TriggerKind::Never;
+        let res = run_erosion(&cfg);
+        assert_eq!(res.lb_calls, 0);
+    }
+
+    #[test]
+    fn periodic_trigger_balances_on_schedule() {
+        let mut cfg = ErosionConfig::tiny(4, 1);
+        cfg.trigger = TriggerKind::Periodic(20);
+        let res = run_erosion(&cfg);
+        // Fires at iterations 19 and 39 (the 59 slot is suppressed as the
+        // last iteration).
+        assert_eq!(res.lb_iterations, vec![19, 39]);
+    }
+
+    #[test]
+    fn zhai_triggers_at_least_once_under_imbalance() {
+        let mut cfg = ErosionConfig::tiny(8, 1);
+        cfg.iterations = 120;
+        cfg.policy = LbPolicy::Standard;
+        cfg.initial_lb_cost_factor = 0.05;
+        let res = run_erosion(&cfg);
+        assert!(
+            res.lb_calls >= 1,
+            "a strongly eroding rock must eventually trip the Zhai trigger"
+        );
+    }
+
+    #[test]
+    fn gossip_mode_does_not_change_physics() {
+        let mut ring = ErosionConfig::tiny(4, 1);
+        ring.gossip = GossipMode::Ring;
+        let mut push = ErosionConfig::tiny(4, 1);
+        push.gossip = GossipMode::RandomPush { fanout: 2 };
+        let a = run_erosion(&ring);
+        let b = run_erosion(&push);
+        assert_eq!(a.total_eroded, b.total_eroded);
+    }
+
+    #[test]
+    fn median_of_runs() {
+        let mut cfg = ErosionConfig::tiny(2, 1);
+        cfg.iterations = 20;
+        let res = run_erosion_median(&cfg, &[1, 2, 3]);
+        assert!(res.makespan > 0.0);
+    }
+}

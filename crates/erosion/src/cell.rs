@@ -1,0 +1,124 @@
+//! Packed cell representation of the 2-D fluid/rock mesh.
+//!
+//! "The computational domain is organized as a 2D mesh with two cell types:
+//! fluid and rock" (§IV-B). When a rock cell is eroded "it converts the rock
+//! cell into four fluid cells of smaller size reproducing a mesh-refinement
+//! mechanism" — we model the refined patch as one fluid cell of *weight 4*
+//! (same FLOP count and same partitioning weight as four small cells, on an
+//! unchanged index space).
+//!
+//! Cells are packed into a `u16` (2 bytes/cell keeps a 256-PE scaled domain
+//! in tens of megabytes): `0` = plain fluid (weight 1), `1` = refined fluid
+//! (weight 4), `2 + k` = rock belonging to disc `k`.
+
+use serde::{Deserialize, Serialize};
+
+/// Compute/partition weight of a refined (post-erosion) fluid cell.
+pub const REFINED_WEIGHT: u32 = 4;
+
+/// Largest representable rock id.
+pub const MAX_ROCK_ID: u16 = u16::MAX - 2;
+
+/// One mesh cell, packed into two bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell(u16);
+
+impl Cell {
+    /// A plain fluid cell (weight 1).
+    pub const FLUID: Cell = Cell(0);
+    /// A refined fluid cell (weight 4), produced by eroding a rock cell.
+    pub const REFINED: Cell = Cell(1);
+
+    /// A rock cell belonging to disc `rock_id`.
+    pub fn rock(rock_id: u16) -> Cell {
+        assert!(rock_id <= MAX_ROCK_ID, "rock id {rock_id} out of range");
+        Cell(rock_id + 2)
+    }
+
+    /// Is this a fluid cell (plain or refined)?
+    pub fn is_fluid(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Is this a rock cell?
+    pub fn is_rock(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// The rock disc this cell belongs to, if it is rock.
+    pub fn rock_id(self) -> Option<u16> {
+        self.is_rock().then(|| self.0 - 2)
+    }
+
+    /// Compute/partition weight: 1 for plain fluid, 4 for refined fluid,
+    /// 0 for rock ("rock cells involve no computation").
+    pub fn weight(self) -> u32 {
+        match self.0 {
+            0 => 1,
+            1 => REFINED_WEIGHT,
+            _ => 0,
+        }
+    }
+
+    /// Erode a rock cell into a refined fluid patch (panics on fluid).
+    pub fn eroded(self) -> Cell {
+        assert!(self.is_rock(), "only rock cells can erode");
+        Cell::REFINED
+    }
+
+    /// Wire size of one cell.
+    pub const BYTES: usize = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrip() {
+        assert!(Cell::FLUID.is_fluid());
+        assert!(!Cell::FLUID.is_rock());
+        assert!(Cell::REFINED.is_fluid());
+        let r = Cell::rock(37);
+        assert!(r.is_rock());
+        assert_eq!(r.rock_id(), Some(37));
+        assert_eq!(Cell::FLUID.rock_id(), None);
+    }
+
+    #[test]
+    fn weights() {
+        assert_eq!(Cell::FLUID.weight(), 1);
+        assert_eq!(Cell::REFINED.weight(), 4);
+        assert_eq!(Cell::rock(0).weight(), 0);
+    }
+
+    #[test]
+    fn erosion_refines() {
+        let c = Cell::rock(5).eroded();
+        assert_eq!(c, Cell::REFINED);
+        assert_eq!(c.weight(), REFINED_WEIGHT);
+    }
+
+    #[test]
+    #[should_panic(expected = "only rock cells can erode")]
+    fn fluid_cannot_erode() {
+        Cell::FLUID.eroded();
+    }
+
+    #[test]
+    fn cell_is_two_bytes() {
+        assert_eq!(std::mem::size_of::<Cell>(), Cell::BYTES);
+    }
+
+    #[test]
+    fn max_rock_id_boundary() {
+        let c = Cell::rock(MAX_ROCK_ID);
+        assert_eq!(c.rock_id(), Some(MAX_ROCK_ID));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rock_id_overflow_rejected() {
+        Cell::rock(MAX_ROCK_ID + 1);
+    }
+}

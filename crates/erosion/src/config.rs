@@ -1,0 +1,262 @@
+//! Experiment configuration for the erosion proxy application.
+
+use serde::{Deserialize, Serialize};
+use ulba_core::gossip::GossipMode;
+use ulba_core::policy::LbPolicy;
+
+/// Which adaptive trigger drives LB activation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TriggerKind {
+    /// The Zhai et al. cumulative-degradation trigger (the paper's choice).
+    Zhai,
+    /// The Menon fixed-interval trigger re-estimated online (ablation).
+    Menon {
+        /// Fallback/maximum interval in iterations.
+        max_interval: u64,
+    },
+    /// Balance every `period` iterations (ablation).
+    Periodic(u64),
+    /// Never balance (static baseline).
+    Never,
+}
+
+/// Full configuration of one erosion experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErosionConfig {
+    /// Number of PEs (`P`), one stripe and one rock disc each initially.
+    pub ranks: usize,
+    /// Columns per initial stripe.
+    pub cols_per_pe: usize,
+    /// Domain height in cells.
+    pub height: usize,
+    /// Rock disc radius in cells.
+    pub rock_radius: usize,
+    /// Number of strongly erodible rocks (the paper tests 1–3).
+    pub strong_rocks: usize,
+    /// Erosion probability of weakly erodible rocks (paper: 0.02).
+    pub p_weak: f64,
+    /// Erosion probability of strongly erodible rocks (paper: 0.4).
+    pub p_strong: f64,
+    /// FLOP charged per unit of fluid weight per iteration (within the
+    /// 52–1165 FLOP/cell range of Tomczak & Szafran used by Table II).
+    pub flop_per_cell: f64,
+    /// Number of application iterations (Fig. 4b runs ~400).
+    pub iterations: u64,
+    /// Master seed: strong-rock placement and erosion sampling derive from
+    /// it, so a (config, seed) pair is fully reproducible and *identical
+    /// physics* is replayed under every LB policy.
+    pub seed: u64,
+    /// Load-balancing policy under test.
+    pub policy: LbPolicy,
+    /// Adaptive trigger.
+    pub trigger: TriggerKind,
+    /// WIR dissemination mode (one step per iteration, §III-C).
+    pub gossip: GossipMode,
+    /// Sliding window of the per-PE WIR estimator.
+    pub wir_window: usize,
+    /// Partition on *predicted* column weights (current weight extrapolated
+    /// by its per-column growth rate over the expected LB interval) instead
+    /// of current weights.
+    ///
+    /// This is our extension of ULBA's anticipation to the spatial
+    /// dimension (`ulba_core::partition::predicted_weights`): the split is
+    /// balanced at the horizon rather than at the instant of the LB step.
+    /// `false` reproduces the paper.
+    pub anticipatory_partitioning: bool,
+    /// Initial LB-cost estimate, as a fraction of the first iteration's wall
+    /// time (seeds the EWMA cost model before any LB has been measured).
+    pub initial_lb_cost_factor: f64,
+    /// Fixed per-call LB overhead, in units of the *initial balanced
+    /// per-PE iteration compute time*.
+    ///
+    /// The paper's centralized technique pays for gathering and rebuilding
+    /// cell-level domain state on a physical cluster; our balancer only
+    /// ships column weights and the migrated columns, which would make `C`
+    /// three orders of magnitude cheaper than Table II's 0.1–3.0
+    /// balanced-iteration range and erase the trade-off the paper studies.
+    /// This constant restores the paper's cost regime (see DESIGN.md,
+    /// substitutions).
+    pub lb_fixed_cost_factor: f64,
+    /// FLOP charged on the *root* per domain cell at each LB step, modelling
+    /// the centralized technique's cell-granularity repartitioning work
+    /// (the paper computes every stripe "on a single PE"). This makes the
+    /// LB cost grow with `P` under weak scaling, as observed on real
+    /// centralized balancers, and drives the Fig. 4a shape where total time
+    /// rises with `P` at fixed per-PE load.
+    pub lb_root_walk_flop_per_cell: f64,
+    /// PE speed ω in FLOP/s (Table II: 1 GFLOPS).
+    pub omega: f64,
+}
+
+impl ErosionConfig {
+    /// Paper-scale domain (§IV-B): 1000 columns × 1000 rows per PE
+    /// (1 M cells/PE), radius-250 discs, 400 iterations, erosion
+    /// probabilities 0.02 / 0.4, ULBA α = 0.4 trigger per Zhai.
+    ///
+    /// Memory: ~2 MB per PE; fine for `P ≤ 64` on a laptop, heavy above.
+    pub fn paper(ranks: usize, strong_rocks: usize) -> Self {
+        Self {
+            ranks,
+            cols_per_pe: 1000,
+            height: 1000,
+            rock_radius: 250,
+            strong_rocks,
+            p_weak: 0.02,
+            p_strong: 0.4,
+            flop_per_cell: 200.0,
+            iterations: 400,
+            seed: 0x0E05_1019,
+            policy: LbPolicy::ulba_fixed(0.4),
+            trigger: TriggerKind::Zhai,
+            gossip: GossipMode::RandomPush { fanout: 2 },
+            wir_window: 8,
+            anticipatory_partitioning: false,
+            initial_lb_cost_factor: 1.0,
+            lb_fixed_cost_factor: 2.0,
+            lb_root_walk_flop_per_cell: 6.0,
+            omega: 1.0e9,
+        }
+    }
+
+    /// Quarter-linear-scale domain used by the figure harnesses:
+    /// 250 × 250 cells per PE, radius-62 discs.
+    ///
+    /// To preserve the paper's *timescales* the erosion probabilities shrink
+    /// with the radius (a disc erodes in `≈ area/(frontier·p) ∝ r/p`
+    /// iterations, so `p` scales by 62/250) and `flop_per_cell` grows 16×
+    /// (the per-PE cell count shrank 16×), keeping per-iteration virtual
+    /// times and LB-cost ratios at paper magnitude.
+    pub fn scaled(ranks: usize, strong_rocks: usize) -> Self {
+        Self {
+            cols_per_pe: 250,
+            height: 250,
+            rock_radius: 62,
+            p_weak: 0.005,
+            p_strong: 0.1,
+            flop_per_cell: 3200.0,
+            lb_root_walk_flop_per_cell: 96.0,
+            ..Self::paper(ranks, strong_rocks)
+        }
+    }
+
+    /// A tiny domain for unit/integration tests (64 × 64 per PE).
+    pub fn tiny(ranks: usize, strong_rocks: usize) -> Self {
+        Self {
+            cols_per_pe: 64,
+            height: 64,
+            rock_radius: 14,
+            p_weak: 0.02,
+            p_strong: 0.35,
+            flop_per_cell: 1000.0,
+            iterations: 60,
+            ..Self::paper(ranks, strong_rocks)
+        }
+    }
+
+    /// Validate cross-field invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ranks == 0 {
+            return Err("need at least one rank".into());
+        }
+        if self.strong_rocks > self.ranks {
+            return Err(format!(
+                "{} strong rocks but only {} discs exist",
+                self.strong_rocks, self.ranks
+            ));
+        }
+        if 2 * self.rock_radius >= self.cols_per_pe {
+            return Err("disc diameter must fit inside one stripe".into());
+        }
+        if 2 * self.rock_radius >= self.height {
+            return Err("disc diameter must fit the domain height".into());
+        }
+        for (name, p) in [("p_weak", self.p_weak), ("p_strong", self.p_strong)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
+        }
+        if self.flop_per_cell <= 0.0 || self.omega <= 0.0 {
+            return Err("flop_per_cell and omega must be positive".into());
+        }
+        if self.lb_fixed_cost_factor < 0.0
+            || self.initial_lb_cost_factor < 0.0
+            || self.lb_root_walk_flop_per_cell < 0.0
+        {
+            return Err("LB cost factors must be non-negative".into());
+        }
+        if self.iterations == 0 {
+            return Err("need at least one iteration".into());
+        }
+        Ok(())
+    }
+
+    /// Total domain width in columns.
+    pub fn width(&self) -> usize {
+        self.ranks * self.cols_per_pe
+    }
+
+    /// The initial balanced per-PE compute time of one iteration (seconds):
+    /// the unit in which Table II expresses the LB cost `C`.
+    pub fn base_iteration_secs(&self) -> f64 {
+        (self.cols_per_pe * self.height) as f64 * self.flop_per_cell / self.omega
+    }
+
+    /// The fixed per-call LB overhead in seconds.
+    pub fn lb_fixed_cost_secs(&self) -> f64 {
+        self.lb_fixed_cost_factor * self.base_iteration_secs()
+    }
+
+    /// Root-side repartitioning work per LB call, in seconds
+    /// (`walk_flop × total cells / ω`): grows linearly with `P`.
+    pub fn lb_root_walk_secs(&self) -> f64 {
+        self.lb_root_walk_flop_per_cell * (self.width() * self.height) as f64 / self.omega
+    }
+
+    /// Total modelled LB cost per call in seconds (fixed + root walk),
+    /// before the (small) real collective/migration costs.
+    pub fn lb_modelled_cost_secs(&self) -> f64 {
+        self.lb_fixed_cost_secs() + self.lb_root_walk_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        ErosionConfig::paper(32, 1).validate().unwrap();
+        ErosionConfig::scaled(256, 3).validate().unwrap();
+        ErosionConfig::tiny(4, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_preserves_erosion_timescale() {
+        let paper = ErosionConfig::paper(32, 1);
+        let scaled = ErosionConfig::scaled(32, 1);
+        // r/p is the erosion-duration scale: it must match between presets.
+        let t_paper = paper.rock_radius as f64 / paper.p_strong;
+        let t_scaled = scaled.rock_radius as f64 / scaled.p_strong;
+        assert!((t_paper - t_scaled).abs() / t_paper < 0.05);
+        // Per-iteration FLOP per PE must match too.
+        let f_paper = (paper.cols_per_pe * paper.height) as f64 * paper.flop_per_cell;
+        let f_scaled = (scaled.cols_per_pe * scaled.height) as f64 * scaled.flop_per_cell;
+        assert!((f_paper - f_scaled).abs() / f_paper < 0.05);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.strong_rocks = 5;
+        assert!(c.validate().is_err());
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.rock_radius = 40;
+        assert!(c.validate().is_err());
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.p_strong = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.iterations = 0;
+        assert!(c.validate().is_err());
+    }
+}

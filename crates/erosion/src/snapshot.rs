@@ -1,0 +1,169 @@
+//! Domain snapshots: render the fluid/rock mesh as a binary PPM image
+//! (no external dependencies) for visual inspection of the erosion
+//! dynamics and the stripe partition.
+//!
+//! Colors: plain fluid = deep blue, refined fluid = light blue, weak rock =
+//! grey, strong rock = dark red; optional stripe boundaries as black
+//! columns.
+
+use crate::column::Column;
+use std::io::Write;
+use std::path::Path;
+
+/// RGB color of one cell class.
+pub type Rgb = [u8; 3];
+
+/// Palette used by [`render_ppm`].
+#[derive(Debug, Clone, Copy)]
+pub struct Palette {
+    /// Plain (weight-1) fluid.
+    pub fluid: Rgb,
+    /// Refined (weight-4) fluid, i.e. eroded rock.
+    pub refined: Rgb,
+    /// Weakly erodible rock.
+    pub weak_rock: Rgb,
+    /// Strongly erodible rock.
+    pub strong_rock: Rgb,
+    /// Stripe-boundary marker.
+    pub boundary: Rgb,
+}
+
+impl Default for Palette {
+    fn default() -> Self {
+        Self {
+            fluid: [20, 60, 160],
+            refined: [120, 180, 255],
+            weak_rock: [120, 120, 120],
+            strong_rock: [160, 40, 30],
+            boundary: [0, 0, 0],
+        }
+    }
+}
+
+/// Render columns (global order) into a PPM (P6) byte buffer.
+///
+/// * `columns` — the full domain's columns, left to right;
+/// * `strong` — sorted ids of strongly erodible rocks;
+/// * `bounds` — optional partition boundaries (interior bounds are drawn as
+///   1-pixel black columns).
+pub fn render_ppm(
+    columns: &[&Column],
+    strong: &[u16],
+    bounds: Option<&[usize]>,
+    palette: &Palette,
+) -> Vec<u8> {
+    assert!(!columns.is_empty(), "nothing to render");
+    let width = columns.len();
+    let height = columns[0].height();
+    let mut out = Vec::with_capacity(32 + width * height * 3);
+    out.extend_from_slice(format!("P6\n{width} {height}\n255\n").as_bytes());
+    let is_boundary = |col: usize| {
+        bounds.is_some_and(|b| b.iter().skip(1).take(b.len().saturating_sub(2)).any(|&x| x == col))
+    };
+    for row in 0..height {
+        for (ci, col) in columns.iter().enumerate() {
+            let rgb = if is_boundary(ci) {
+                palette.boundary
+            } else {
+                let cell = col.cell(row);
+                match cell.rock_id() {
+                    Some(id) if strong.binary_search(&id).is_ok() => palette.strong_rock,
+                    Some(_) => palette.weak_rock,
+                    None if cell == crate::cell::Cell::REFINED => palette.refined,
+                    None => palette.fluid,
+                }
+            };
+            out.extend_from_slice(&rgb);
+        }
+    }
+    out
+}
+
+/// Write a snapshot to `path` (any `.ppm` viewer or converter applies).
+pub fn write_ppm(
+    path: &Path,
+    columns: &[&Column],
+    strong: &[u16],
+    bounds: Option<&[usize]>,
+) -> std::io::Result<()> {
+    let bytes = render_ppm(columns, strong, bounds, &Palette::default());
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+
+    fn domain() -> Vec<Column> {
+        let g = Geometry::new(2, 24, 24, 6);
+        (0..48).map(|c| Column::initial(&g, c)).collect()
+    }
+
+    #[test]
+    fn header_and_size_are_correct() {
+        let cols = domain();
+        let refs: Vec<&Column> = cols.iter().collect();
+        let ppm = render_ppm(&refs, &[0], None, &Palette::default());
+        let header = b"P6\n48 24\n255\n";
+        assert_eq!(&ppm[..header.len()], header);
+        assert_eq!(ppm.len(), header.len() + 48 * 24 * 3);
+    }
+
+    #[test]
+    fn strong_and_weak_rocks_use_distinct_colors() {
+        let cols = domain();
+        let refs: Vec<&Column> = cols.iter().collect();
+        let palette = Palette::default();
+        let ppm = render_ppm(&refs, &[0], None, &palette);
+        let header_len = b"P6\n48 24\n255\n".len();
+        let pixel = |col: usize, row: usize| -> Rgb {
+            let off = header_len + (row * 48 + col) * 3;
+            [ppm[off], ppm[off + 1], ppm[off + 2]]
+        };
+        // Disc 0 (strong) centre vs disc 1 (weak) centre vs open fluid.
+        assert_eq!(pixel(12, 12), palette.strong_rock);
+        assert_eq!(pixel(36, 12), palette.weak_rock);
+        assert_eq!(pixel(0, 0), palette.fluid);
+    }
+
+    #[test]
+    fn boundaries_are_drawn() {
+        let cols = domain();
+        let refs: Vec<&Column> = cols.iter().collect();
+        let palette = Palette::default();
+        let ppm = render_ppm(&refs, &[], Some(&[0, 24, 48]), &palette);
+        let header_len = b"P6\n48 24\n255\n".len();
+        let off = header_len + 24 * 3; // row 0, col 24
+        assert_eq!([ppm[off], ppm[off + 1], ppm[off + 2]], palette.boundary);
+    }
+
+    #[test]
+    fn write_to_disk_roundtrip() {
+        let cols = domain();
+        let refs: Vec<&Column> = cols.iter().collect();
+        let path = std::env::temp_dir().join("ulba-snapshot-test.ppm");
+        write_ppm(&path, &refs, &[0], None).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n48 24\n255\n"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eroded_cells_render_as_refined() {
+        let mut cols = domain();
+        // Erode one exposed cell of disc 0.
+        let (ci, row) = (0..48)
+            .flat_map(|c| cols[c].exposed().to_vec().into_iter().map(move |r| (c, r as usize)))
+            .next()
+            .expect("some exposed cell");
+        cols[ci].erode(row);
+        let refs: Vec<&Column> = cols.iter().collect();
+        let palette = Palette::default();
+        let ppm = render_ppm(&refs, &[], None, &palette);
+        let header_len = b"P6\n48 24\n255\n".len();
+        let off = header_len + (row * 48 + ci) * 3;
+        assert_eq!([ppm[off], ppm[off + 1], ppm[off + 2]], palette.refined);
+    }
+}

@@ -1,0 +1,50 @@
+//! Integration tests of the anticipatory-partitioning extension (E-A4) on
+//! the erosion application.
+
+use ulba_core::policy::LbPolicy;
+use ulba_erosion::{run_erosion, ErosionConfig};
+
+fn cfg(ranks: usize, anticipate: bool, policy: LbPolicy) -> ErosionConfig {
+    let mut c = ErosionConfig::scaled(ranks, 1);
+    c.iterations = 150;
+    c.policy = policy;
+    c.anticipatory_partitioning = anticipate;
+    c
+}
+
+#[test]
+fn prediction_does_not_change_the_physics() {
+    let plain = run_erosion(&cfg(8, false, LbPolicy::Standard));
+    let predicted = run_erosion(&cfg(8, true, LbPolicy::Standard));
+    assert_eq!(plain.total_eroded, predicted.total_eroded);
+    assert_eq!(plain.final_total_weight, predicted.final_total_weight);
+}
+
+#[test]
+fn prediction_helps_standard_method_under_hotspot_growth() {
+    // The headline of ablation E-A4: standard + prediction must not lose to
+    // plain standard while the strong rock grows.
+    let plain = run_erosion(&cfg(16, false, LbPolicy::Standard));
+    let predicted = run_erosion(&cfg(16, true, LbPolicy::Standard));
+    assert!(
+        predicted.makespan <= plain.makespan * 1.01,
+        "prediction {:.2}s vs plain {:.2}s",
+        predicted.makespan,
+        plain.makespan
+    );
+}
+
+#[test]
+fn prediction_composes_with_ulba() {
+    let res = run_erosion(&cfg(8, true, LbPolicy::ulba_fixed(0.4)));
+    assert!(res.makespan > 0.0);
+    assert_eq!(res.iterations.len(), 150);
+}
+
+#[test]
+fn prediction_is_deterministic() {
+    let a = run_erosion(&cfg(8, true, LbPolicy::Standard));
+    let b = run_erosion(&cfg(8, true, LbPolicy::Standard));
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.lb_iterations, b.lb_iterations);
+}

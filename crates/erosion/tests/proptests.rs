@@ -1,0 +1,109 @@
+//! Property-based tests of the erosion dynamics and its invariants.
+
+use proptest::prelude::*;
+use ulba_erosion::erode::{erodes, erosion_step, roll};
+use ulba_erosion::{Column, Geometry};
+
+fn build(geometry: &Geometry, range: std::ops::Range<usize>) -> Vec<Column> {
+    range.map(|c| Column::initial(geometry, c)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rolls are uniform in [0, 1) and deterministic.
+    #[test]
+    fn rolls_in_unit_interval(seed in any::<u64>(), iter in any::<u64>(), col in any::<u64>(), row in any::<u64>()) {
+        let r = roll(seed, iter, col, row);
+        prop_assert!((0.0..1.0).contains(&r));
+        prop_assert_eq!(r, roll(seed, iter, col, row));
+    }
+
+    /// Erosion probability is monotone in the number of fluid neighbours:
+    /// if a cell erodes with k neighbours it also erodes with k+1.
+    #[test]
+    fn erosion_monotone_in_neighbors(seed in any::<u64>(), p in 0.01f64..0.99, k in 1u32..4) {
+        for cell in 0..200u64 {
+            if erodes(seed, 3, cell, 7, k, p) {
+                prop_assert!(erodes(seed, 3, cell, 7, k + 1, p));
+            }
+        }
+    }
+
+    /// One erosion step: fluid weight never decreases, rock count never
+    /// increases, their deltas match, and column invariants hold.
+    #[test]
+    fn step_preserves_invariants(seed in any::<u64>(), p in 0.0f64..1.0, iters in 1u64..12) {
+        let g = Geometry::new(1, 48, 48, 10);
+        let mut cols = build(&g, 0..48);
+        let mut prev_weight: u64 = cols.iter().map(|c| c.fluid_weight() as u64).sum();
+        let mut prev_rock: usize = cols
+            .iter()
+            .map(|c| (0..48).filter(|&r| c.cell(r).is_rock()).count())
+            .sum();
+        for iter in 0..iters {
+            let delta = erosion_step(&mut cols, 0, None, None, seed, iter, &|_| p);
+            let weight: u64 = cols.iter().map(|c| c.fluid_weight() as u64).sum();
+            let rock: usize = cols
+                .iter()
+                .map(|c| (0..48).filter(|&r| c.cell(r).is_rock()).count())
+                .sum();
+            prop_assert!(weight >= prev_weight, "fluid weight must be monotone");
+            prop_assert_eq!(prev_rock - rock, delta.eroded);
+            prop_assert_eq!(weight - prev_weight, 4 * delta.eroded as u64);
+            for c in &cols {
+                prop_assert!(c.check_invariants().is_ok());
+            }
+            prev_weight = weight;
+            prev_rock = rock;
+        }
+    }
+
+    /// Partition independence: the same domain simulated whole or split in
+    /// two (with halo exchange) yields identical cells.
+    #[test]
+    fn split_simulation_matches_whole(seed in any::<u64>(), p_strong in 0.05f64..0.5) {
+        let g = Geometry::new(2, 36, 36, 8);
+        let prob = move |id: u16| if id == 0 { p_strong } else { 0.05 };
+
+        let mut whole = build(&g, 0..72);
+        for iter in 0..12u64 {
+            erosion_step(&mut whole, 0, None, None, seed, iter, &prob);
+        }
+
+        let mut a = build(&g, 0..36);
+        let mut b = build(&g, 36..72);
+        for iter in 0..12u64 {
+            let halo_ar: Vec<_> = b[0].cells().to_vec();
+            let halo_bl: Vec<_> = a[35].cells().to_vec();
+            let a_inner = a[34].cells().to_vec();
+            a[35].refresh_exposure(Some(&a_inner), Some(&halo_ar));
+            let b_inner = b[1].cells().to_vec();
+            b[0].refresh_exposure(Some(&halo_bl), Some(&b_inner));
+            erosion_step(&mut a, 0, None, Some(&halo_ar), seed, iter, &prob);
+            erosion_step(&mut b, 36, Some(&halo_bl), None, seed, iter, &prob);
+        }
+
+        for (i, col) in whole.iter().enumerate() {
+            let split = if i < 36 { &a[i] } else { &b[i - 36] };
+            prop_assert_eq!(col.cells(), split.cells(), "column {} diverged", i);
+        }
+    }
+
+    /// Geometry: a cell is rock iff inside its stripe's disc; exposure
+    /// implies rock with a fluid neighbour.
+    #[test]
+    fn geometry_consistency(stripes in 1usize..5, col_frac in 0.0f64..1.0, row_frac in 0.0f64..1.0) {
+        let g = Geometry::new(stripes, 40, 40, 9);
+        let col = ((g.width as f64 - 1.0) * col_frac) as usize;
+        let row = (39.0 * row_frac) as usize;
+        let (cx, cy) = g.rock_center(col / 40);
+        let dx = col as f64 + 0.5 - cx;
+        let dy = row as f64 + 0.5 - cy;
+        let inside = dx * dx + dy * dy <= 81.0;
+        prop_assert_eq!(g.rock_at(col, row).is_some(), inside);
+        if g.initially_exposed(col, row) {
+            prop_assert!(g.rock_at(col, row).is_some());
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Theoretical parallel efficiency under the analytical model — the model's
+//! counterpart of the measured utilization of Fig. 4b.
+//!
+//! At iteration `t` after an LB step, the machine-wide efficiency is
+//! `mean PE load / max PE load`: under the standard method the max grows as
+//! `(m + a)·t` while the mean grows as `ΔW/P`; under ULBA the max follows
+//! Eq. (5)'s two regimes. The sawtooth these produce over a schedule is
+//! exactly the shape of the paper's utilization plot.
+
+use crate::params::ModelParams;
+use crate::schedule::{Method, Schedule};
+
+/// Mean per-PE load at iteration `i`: `Wtot(i)/P`.
+fn mean_load(params: &ModelParams, iteration: u32) -> f64 {
+    params.wtot(iteration) / params.p as f64
+}
+
+/// Max per-PE load `t` iterations after an LB step at `lb_prev`, under
+/// `method` (FLOP).
+fn max_load(params: &ModelParams, lb_prev: u32, t: u32, method: Method) -> f64 {
+    // iteration_time × ω gives back the per-iteration FLOP of the most
+    // loaded PE.
+    let secs = match method {
+        Method::Standard => crate::standard::iteration_time(params, lb_prev, t),
+        Method::Ulba { alpha } => crate::ulba::iteration_time(params, lb_prev, t, alpha),
+    };
+    secs * params.omega
+}
+
+/// Per-iteration theoretical efficiency (`mean/max ∈ (0, 1]`) over a whole
+/// schedule. The first segment (balanced start) uses the standard model.
+pub fn efficiency_series(
+    params: &ModelParams,
+    schedule: &Schedule,
+    method: Method,
+) -> Vec<f64> {
+    let bounds = schedule.boundaries();
+    let mut series = Vec::with_capacity(params.gamma as usize);
+    for w in bounds.windows(2) {
+        let (start, end) = (w[0], w[1]);
+        for t in 0..(end - start) {
+            let method_here = if start == 0 { Method::Standard } else { method };
+            let max = max_load(params, start, t, method_here);
+            let mean = mean_load(params, start + t);
+            series.push((mean / max).clamp(0.0, 1.0));
+        }
+    }
+    series
+}
+
+/// Time-averaged theoretical efficiency over the run.
+pub fn mean_efficiency(params: &ModelParams, schedule: &Schedule, method: Method) -> f64 {
+    let series = efficiency_series(params, schedule, method);
+    if series.is_empty() {
+        1.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{menon_schedule, sigma_plus_schedule};
+
+    fn params() -> ModelParams {
+        ModelParams::example()
+    }
+
+    #[test]
+    fn efficiency_is_one_right_after_standard_lb() {
+        let p = params();
+        let sched = Schedule::new(vec![10], p.gamma);
+        let series = efficiency_series(&p, &sched, Method::Standard);
+        // Iteration 0 (balanced start) and iteration 10 (right after LB)
+        // are perfectly efficient.
+        assert!((series[0] - 1.0).abs() < 1e-9);
+        assert!((series[10] - 1.0).abs() < 1e-9);
+        // Efficiency decays within each interval.
+        assert!(series[9] < series[1].max(1.0 - 1e-12));
+        assert!(series[9] < 1.0);
+    }
+
+    #[test]
+    fn efficiency_sawtooth_resets_at_each_lb() {
+        let p = params();
+        let sched = Schedule::new(vec![25, 50, 75], p.gamma);
+        let series = efficiency_series(&p, &sched, Method::Standard);
+        for &lb in &[25usize, 50, 75] {
+            assert!(
+                series[lb] > series[lb - 1],
+                "efficiency must jump back up at LB step {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn ulba_starts_below_one_but_decays_slower() {
+        let p = params();
+        let alpha = 0.4;
+        let sched = Schedule::new(vec![10], p.gamma);
+        let std_series = efficiency_series(&p, &sched, Method::Standard);
+        let ulba_series = efficiency_series(&p, &sched, Method::Ulba { alpha });
+        // Right after the ULBA step the non-overloaders hold slightly more
+        // than fair: efficiency < 1.
+        assert!(ulba_series[10] < 1.0);
+        assert!(ulba_series[10] > 0.9, "the ULBA overhead is small");
+        // But late in the interval ULBA is more efficient (the σ⁻ plateau).
+        assert!(ulba_series[40] > std_series[40]);
+    }
+
+    #[test]
+    fn mean_efficiency_prefers_good_schedules() {
+        let p = params();
+        let none = mean_efficiency(&p, &Schedule::empty(p.gamma), Method::Standard);
+        let menon = mean_efficiency(&p, &menon_schedule(&p), Method::Standard);
+        assert!(menon > none, "balancing must raise average efficiency");
+        let ulba = mean_efficiency(
+            &p,
+            &sigma_plus_schedule(&p, 0.4),
+            Method::Ulba { alpha: 0.4 },
+        );
+        assert!(ulba > none);
+    }
+
+    #[test]
+    fn series_length_matches_gamma() {
+        let p = params();
+        for sched in [Schedule::empty(p.gamma), Schedule::new(vec![7, 13, 62], p.gamma)] {
+            assert_eq!(
+                efficiency_series(&p, &sched, Method::Standard).len(),
+                p.gamma as usize
+            );
+        }
+    }
+}

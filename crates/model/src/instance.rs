@@ -1,0 +1,187 @@
+//! Random application-instance generation (Table II of the paper).
+//!
+//! Table II defines the distribution from which the 1000 simulation instances
+//! of §III-B and §IV-A are drawn. The workload bounds correspond to 2D/3D CFD
+//! applications with 10⁷ cells per process and 52–1165 FLOP per cell
+//! (Tomczak & Szafran, TPDS 2018); the PE speed is fixed to ω = 1 GFLOPS.
+
+use crate::params::ModelParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The Table II sampling distribution.
+///
+/// All fields default to the paper's values; they are exposed so studies can
+/// explore nearby regimes (and so the Fig. 3 sweep can pin `P` and `N`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceDistribution {
+    /// Choices for `P` (paper: {256, 512, 1024, 2048}).
+    pub p_choices: Vec<u32>,
+    /// Range of the overloading fraction `v` with `N = P·v` (paper: 0.01–0.2).
+    pub overloading_fraction: (f64, f64),
+    /// Application length γ (paper: 100).
+    pub gamma: u32,
+    /// Per-PE initial workload range in FLOP (paper: 52·10⁷ – 1165·10⁷).
+    pub w0_per_pe: (f64, f64),
+    /// Range of `x` with `ΔW = Wtot(0)/P · x` (paper: 0.01–0.3).
+    pub wir_fraction: (f64, f64),
+    /// Range of `y` splitting ΔW between `m` (share `y`) and `a` (share
+    /// `1 − y`) (paper: 0.8–1.0, i.e. imbalanced applications only).
+    pub overload_share: (f64, f64),
+    /// Range of α (paper: 0.0–1.0).
+    pub alpha: (f64, f64),
+    /// Range of `z` with `C = (Wtot(0)/P)·z / ω` (paper's table: 0.1–3.0;
+    /// the prose says "10 % to 100 % of the time to compute one iteration" —
+    /// we follow the table).
+    pub lb_cost_fraction: (f64, f64),
+    /// PE speed ω in FLOP/s (paper: 1 GFLOPS).
+    pub omega: f64,
+}
+
+impl Default for InstanceDistribution {
+    fn default() -> Self {
+        Self {
+            p_choices: vec![256, 512, 1024, 2048],
+            overloading_fraction: (0.01, 0.2),
+            gamma: 100,
+            w0_per_pe: (52.0e7, 1165.0e7),
+            wir_fraction: (0.01, 0.3),
+            overload_share: (0.8, 1.0),
+            alpha: (0.0, 1.0),
+            lb_cost_fraction: (0.1, 3.0),
+            omega: 1.0e9,
+        }
+    }
+}
+
+/// One sampled application instance: the model parameters plus the sampled α
+/// (Table II treats α as part of the instance).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Instance {
+    /// The application model parameters.
+    pub params: ModelParams,
+    /// The sampled underloading fraction α.
+    pub alpha: f64,
+}
+
+impl InstanceDistribution {
+    /// Sample one instance.
+    pub fn sample(&self, rng: &mut StdRng) -> Instance {
+        let p = self.p_choices[rng.random_range(0..self.p_choices.len())];
+        self.sample_with_p_n(rng, p, None)
+    }
+
+    /// Sample one instance with `P` fixed and, optionally, `N` fixed
+    /// (used by the Fig. 3 sweep over the overloading percentage).
+    pub fn sample_with_p_n(&self, rng: &mut StdRng, p: u32, n: Option<u32>) -> Instance {
+        let n = n.unwrap_or_else(|| {
+            let v = rng.random_range(self.overloading_fraction.0..=self.overloading_fraction.1);
+            ((p as f64 * v).round() as u32).clamp(1, p - 1)
+        });
+        let w0 = p as f64 * rng.random_range(self.w0_per_pe.0..=self.w0_per_pe.1);
+        let x = rng.random_range(self.wir_fraction.0..=self.wir_fraction.1);
+        let delta_w = w0 / p as f64 * x;
+        let y = rng.random_range(self.overload_share.0..=self.overload_share.1);
+        let a = delta_w / p as f64 * (1.0 - y);
+        let m = delta_w / n as f64 * y;
+        let alpha = rng.random_range(self.alpha.0..=self.alpha.1);
+        let z = rng.random_range(self.lb_cost_fraction.0..=self.lb_cost_fraction.1);
+        let c = w0 / p as f64 * z / self.omega;
+        Instance {
+            params: ModelParams {
+                p,
+                n,
+                gamma: self.gamma,
+                w0,
+                a,
+                m,
+                omega: self.omega,
+                c,
+            },
+            alpha,
+        }
+    }
+
+    /// Sample `count` instances deterministically from `seed`.
+    pub fn sample_many(&self, count: usize, seed: u64) -> Vec<Instance> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.sample(&mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_instances_are_valid() {
+        for inst in InstanceDistribution::default().sample_many(200, 1) {
+            inst.params.validate().unwrap();
+            assert!((0.0..=1.0).contains(&inst.alpha));
+        }
+    }
+
+    #[test]
+    fn sampled_ranges_respect_table_ii() {
+        let dist = InstanceDistribution::default();
+        for inst in dist.sample_many(500, 2) {
+            let p = inst.params;
+            assert!(dist.p_choices.contains(&p.p));
+            let frac = p.n as f64 / p.p as f64;
+            // N is rounded, allow half-a-PE slack at the boundaries.
+            assert!(
+                frac >= 0.01 - 0.5 / p.p as f64 && frac <= 0.2 + 0.5 / p.p as f64,
+                "N/P = {frac}"
+            );
+            assert_eq!(p.gamma, 100);
+            let per_pe = p.w0 / p.p as f64;
+            assert!((52.0e7..=1165.0e7).contains(&per_pe));
+            let x = p.delta_w() / per_pe;
+            assert!((0.01 - 1e-9..=0.3 + 1e-9).contains(&x), "x = {x}");
+            // C between 0.1 and 3.0 balanced-iteration times.
+            let z = p.c / p.balanced_iteration_time();
+            assert!((0.1 - 1e-9..=3.0 + 1e-9).contains(&z), "z = {z}");
+        }
+    }
+
+    #[test]
+    fn delta_w_decomposition_holds() {
+        // ΔW = aP + mN must hold exactly for every sample (Table I identity).
+        for inst in InstanceDistribution::default().sample_many(300, 3) {
+            let p = inst.params;
+            let recomposed = p.a * p.p as f64 + p.m * p.n as f64;
+            assert!((recomposed - p.delta_w()).abs() <= 1e-6 * p.delta_w());
+        }
+    }
+
+    #[test]
+    fn overload_share_is_dominant() {
+        // y in [0.8, 1.0]: at least 80 % of ΔW goes to overloading PEs.
+        for inst in InstanceDistribution::default().sample_many(300, 4) {
+            let p = inst.params;
+            let share = p.m * p.n as f64 / p.delta_w();
+            assert!(share >= 0.8 - 1e-9, "overload share {share}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let dist = InstanceDistribution::default();
+        let a = dist.sample_many(50, 7);
+        let b = dist.sample_many(50, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.params, y.params);
+            assert_eq!(x.alpha, y.alpha);
+        }
+    }
+
+    #[test]
+    fn fixed_p_n_sampling() {
+        let dist = InstanceDistribution::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = dist.sample_with_p_n(&mut rng, 512, Some(10));
+        assert_eq!(inst.params.p, 512);
+        assert_eq!(inst.params.n, 10);
+    }
+}

@@ -1,0 +1,104 @@
+//! The standard load-balancing method (§II, Eq. (2)) and the Menon et al.
+//! optimal interval `τ = sqrt(2ωC/m̂)`.
+
+use crate::params::ModelParams;
+
+/// Eq. (2): time of the `t`-th iteration after a (perfect) LB step performed
+/// at iteration `lb_prev`, under the standard method:
+///
+/// `T_std(LBp, t) = (Wtot(LBp)/P + (m + a)·t) / ω`
+///
+/// `t = 0` is the iteration computed right after the LB step. After perfect
+/// balancing every PE holds `Wtot(LBp)/P`; from then on the most loaded PE
+/// (an overloader) gains `m + a` FLOP per iteration and dominates the
+/// iteration time.
+pub fn iteration_time(params: &ModelParams, lb_prev: u32, t: u32) -> f64 {
+    (params.wtot(lb_prev) / params.p as f64 + (params.m + params.a) * t as f64) / params.omega
+}
+
+/// Closed-form sum of Eq. (2) over a whole LB interval:
+/// `Σ_{t=0}^{len-1} T_std(lb_prev, t)`.
+///
+/// This is the arithmetic-series form used by the schedule evaluators; it
+/// equals the naive sum exactly (up to floating-point rounding).
+pub fn interval_compute_time(params: &ModelParams, lb_prev: u32, len: u32) -> f64 {
+    if len == 0 {
+        return 0.0;
+    }
+    let l = len as f64;
+    let base = params.wtot(lb_prev) / params.p as f64;
+    let rate = params.m + params.a;
+    (l * base + rate * l * (l - 1.0) / 2.0) / params.omega
+}
+
+/// The Menon et al. optimal LB interval, `τ = sqrt(2ωC/m̂)` (§II-B).
+///
+/// The paper writes `τ = sqrt(2C/m̂)` with `ω = 1 GFLOPS` implicit; we keep
+/// `ω` explicit so that `C` is in seconds and `m̂` in FLOP/iteration. Returns
+/// `None` when the application has no imbalance growth (`m̂ = 0`), in which
+/// case no LB step is ever profitable.
+pub fn menon_tau(params: &ModelParams) -> Option<f64> {
+    let m_hat = params.m_hat();
+    if m_hat <= 0.0 {
+        return None;
+    }
+    Some((2.0 * params.omega * params.c / m_hat).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_time_matches_hand_computation() {
+        let p = ModelParams::example();
+        // Right after a LB at iteration 0: Wtot(0)/P / omega.
+        let t0 = iteration_time(&p, 0, 0);
+        assert!((t0 - (16.0e9 / 16.0) / 1.0e9).abs() < 1e-12);
+        // One iteration later the most loaded PE has gained (m + a).
+        let t1 = iteration_time(&p, 0, 1);
+        assert!((t1 - t0 - (5.0e7 + 1.0e6) / 1.0e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_sum_matches_naive_sum() {
+        let p = ModelParams::example();
+        for lb_prev in [0u32, 3, 50] {
+            for len in [0u32, 1, 2, 7, 40] {
+                let naive: f64 = (0..len).map(|t| iteration_time(&p, lb_prev, t)).sum();
+                let closed = interval_compute_time(&p, lb_prev, len);
+                assert!(
+                    (naive - closed).abs() <= 1e-9 * naive.max(1.0),
+                    "lb_prev={lb_prev} len={len}: naive={naive} closed={closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn menon_tau_square_balances_costs() {
+        // At τ, the accumulated imbalance cost (1/ω)∫ m̂ t dt = m̂τ²/(2ω)
+        // equals C by construction.
+        let p = ModelParams::example();
+        let tau = menon_tau(&p).unwrap();
+        let imbalance_cost = p.m_hat() * tau * tau / (2.0 * p.omega);
+        assert!((imbalance_cost - p.c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn menon_tau_none_without_growth() {
+        let mut p = ModelParams::example();
+        p.m = 0.0;
+        assert!(menon_tau(&p).is_none());
+        let mut p = ModelParams::example();
+        p.n = 0;
+        assert!(menon_tau(&p).is_none());
+    }
+
+    #[test]
+    fn later_lb_steps_cost_more_per_iteration() {
+        // Wtot grows, so the balanced share right after LB grows with LBp.
+        let p = ModelParams::example();
+        assert!(iteration_time(&p, 10, 0) > iteration_time(&p, 0, 0));
+    }
+}

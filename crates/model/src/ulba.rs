@@ -1,0 +1,314 @@
+//! The ULBA model (§III, Eq. (5)–(12)): per-iteration time after an
+//! underloading LB step, and the LB-interval bounds `σ⁻` and `σ⁺`.
+
+use crate::params::ModelParams;
+
+/// Workloads right after an underloading LB step at iteration `i` (Eq. (6)).
+///
+/// Each of the `N` overloading PEs keeps `W* = (1 − α)·Wtot(i)/P`; each of the
+/// `P − N` other PEs receives `W = (1 + αN/(P − N))·Wtot(i)/P`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostLbShares {
+    /// `W*` — workload of an overloading PE right after the LB step.
+    pub overloading: f64,
+    /// `W` — workload of a non-overloading PE right after the LB step.
+    pub non_overloading: f64,
+}
+
+/// Compute the post-LB workloads of Eq. (6).
+pub fn post_lb_shares(params: &ModelParams, lb_iter: u32, alpha: f64) -> PostLbShares {
+    let (p, n) = (params.p as f64, params.n as f64);
+    let fair = params.wtot(lb_iter) / p;
+    PostLbShares {
+        overloading: (1.0 - alpha) * fair,
+        non_overloading: (1.0 + alpha * n / (p - n)) * fair,
+    }
+}
+
+/// Eq. (8): `σ⁻(i) = ⌊(1 + N/(P − N)) · αWtot(i)/(mP)⌋` — the number of
+/// iterations, after an LB step at iteration `i`, for the overloading PEs to
+/// catch up with the underloaded-but-soon-dominant non-overloading PEs.
+///
+/// Algebraically this simplifies to `⌊αWtot(i)/(m(P − N))⌋`; we keep the
+/// paper's literal form. Returns `None` when the overloaders never catch up
+/// (`m = 0`, `N = 0`, or `α = 0` trivially gives `Some(0)`).
+pub fn sigma_minus(params: &ModelParams, lb_iter: u32, alpha: f64) -> Option<u64> {
+    if params.m <= 0.0 || params.n == 0 {
+        // No extra growth on any PE: with α > 0 the gap never closes; with
+        // α = 0 there is no gap. Either way Eq. (8) does not apply.
+        return if alpha == 0.0 { Some(0) } else { None };
+    }
+    let (p, n) = (params.p as f64, params.n as f64);
+    let v = (1.0 + n / (p - n)) * alpha * params.wtot(lb_iter) / (params.m * p);
+    Some(v.floor() as u64)
+}
+
+/// Eq. (5): time of the `t`-th iteration after an underloading LB step at
+/// `lb_prev` with parameter `α`:
+///
+/// ```text
+/// T_ULBA(LBp, t) = 1/ω · { (1 + αN/(P−N))·Wtot(LBp)/P + a·t          if t ≤ σ⁻(LBp)
+///                        { (1 − α)·Wtot(LBp)/P + (m + a)·t           otherwise
+/// ```
+///
+/// The first branch is the non-overloading PEs' track (they received the
+/// transferred workload and dominate until the overloaders catch up); the
+/// second branch is the overloading PEs' track. For integer `t` the branch
+/// form is exactly `max(track1, track2)` — see the module tests.
+pub fn iteration_time(params: &ModelParams, lb_prev: u32, t: u32, alpha: f64) -> f64 {
+    let (p, n) = (params.p as f64, params.n as f64);
+    let fair = params.wtot(lb_prev) / p;
+    let track1 = (1.0 + alpha * n / (p - n)) * fair + params.a * t as f64;
+    let in_branch1 = match sigma_minus(params, lb_prev, alpha) {
+        None => true, // overloaders never catch up
+        Some(s) => (t as u64) <= s,
+    };
+    if in_branch1 {
+        track1 / params.omega
+    } else {
+        let track2 = (1.0 - alpha) * fair + (params.m + params.a) * t as f64;
+        track2 / params.omega
+    }
+}
+
+/// Closed-form sum of Eq. (5) over a whole LB interval:
+/// `Σ_{t=0}^{len-1} T_ULBA(lb_prev, t, α)`.
+pub fn interval_compute_time(params: &ModelParams, lb_prev: u32, len: u32, alpha: f64) -> f64 {
+    if len == 0 {
+        return 0.0;
+    }
+    let (p, n) = (params.p as f64, params.n as f64);
+    let fair = params.wtot(lb_prev) / p;
+    let k1 = (1.0 + alpha * n / (p - n)) * fair;
+    let k2 = (1.0 - alpha) * fair;
+    let l = len as f64;
+
+    // Number of iterations spent on branch 1 (t in 0..=σ⁻, capped at len).
+    let n1 = match sigma_minus(params, lb_prev, alpha) {
+        None => len as u64,
+        Some(s) => (s + 1).min(len as u64),
+    } as f64;
+    let n2 = l - n1;
+
+    // Σ_{t=0}^{n1-1} (k1 + a·t)
+    let sum1 = n1 * k1 + params.a * n1 * (n1 - 1.0) / 2.0;
+    // Σ_{t=n1}^{len-1} (k2 + (m+a)·t); the t-range sums to (n1 + len - 1)·n2/2.
+    let sum2 = if n2 > 0.0 {
+        n2 * k2 + (params.m + params.a) * (n1 + l - 1.0) * n2 / 2.0
+    } else {
+        0.0
+    };
+    (sum1 + sum2) / params.omega
+}
+
+/// Eq. (9)–(12): the upper bound `σ⁺(i) = σ⁻(i) + max(τ₁, τ₂)` on the next LB
+/// step, where `τ` solves the quadratic
+///
+/// ```text
+/// (m̂/2ω)·τ² − (αNΔW/((P−N)ωP))·τ − [ αN/(P−N) · (Wtot(LBp) + σ⁻ΔW)/(ωP) + C ] = 0
+/// ```
+///
+/// (load-imbalance cost since `σ⁻` = ULBA overhead at the *next* LB step plus
+/// the average LB cost `C`). With `α = 0` this degenerates to the Menon
+/// interval `σ⁺ = sqrt(2ωC/m̂)`. Returns `None` when `m̂ = 0` (no imbalance
+/// growth: never rebalance).
+pub fn sigma_plus(params: &ModelParams, lb_iter: u32, alpha: f64) -> Option<f64> {
+    let m_hat = params.m_hat();
+    if m_hat <= 0.0 {
+        return None;
+    }
+    let (p, n) = (params.p as f64, params.n as f64);
+    let sminus = sigma_minus(params, lb_iter, alpha).unwrap_or(0) as f64;
+    let dw = params.delta_w();
+    let omega = params.omega;
+
+    // Quadratic aτ² + bτ + c = 0, multiplied through by ω for conditioning.
+    let qa = m_hat / 2.0;
+    let qb = -alpha * n * dw / ((p - n) * p);
+    let qc = -(alpha * n / (p - n) * (params.wtot(lb_iter) + sminus * dw) / p
+        + omega * params.c);
+
+    let disc = qb * qb - 4.0 * qa * qc;
+    debug_assert!(disc >= 0.0, "σ⁺ quadratic must have real roots (qc ≤ 0)");
+    let tau = (-qb + disc.sqrt()) / (2.0 * qa);
+    Some(sminus + tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard;
+
+    fn params() -> ModelParams {
+        ModelParams::example()
+    }
+
+    #[test]
+    fn shares_conserve_total_workload() {
+        let p = params();
+        for alpha in [0.0, 0.2, 0.4, 1.0] {
+            let s = post_lb_shares(&p, 5, alpha);
+            let total =
+                s.overloading * p.n as f64 + s.non_overloading * (p.p - p.n) as f64;
+            assert!(
+                (total - p.wtot(5)).abs() < 1e-3,
+                "alpha={alpha}: shares must redistribute, not create, work"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_zero_gives_even_shares() {
+        let p = params();
+        let s = post_lb_shares(&p, 0, 0.0);
+        let fair = p.w0 / p.p as f64;
+        assert_eq!(s.overloading, fair);
+        assert_eq!(s.non_overloading, fair);
+    }
+
+    #[test]
+    fn sigma_minus_closes_the_gap() {
+        // After σ⁻ iterations the overloader track must have caught up with
+        // (or be within one catch-up step of) the non-overloader track.
+        let p = params();
+        for alpha in [0.1, 0.4, 0.9] {
+            let s = sigma_minus(&p, 0, alpha).unwrap();
+            let shares = post_lb_shares(&p, 0, alpha);
+            let over = shares.overloading + (p.m + p.a) * s as f64;
+            let under = shares.non_overloading + p.a * s as f64;
+            // Not yet strictly above...
+            assert!(over <= under + 1e-6, "alpha={alpha}");
+            // ...but within one more iteration of catching up (floor).
+            let over_next = shares.overloading + (p.m + p.a) * (s + 1) as f64;
+            let under_next = shares.non_overloading + p.a * (s + 1) as f64;
+            assert!(over_next >= under_next - 1e-6, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn sigma_minus_simplified_form_matches_paper_form() {
+        let p = params();
+        for (lb, alpha) in [(0u32, 0.3f64), (17, 0.7), (99, 1.0)] {
+            let paper = sigma_minus(&p, lb, alpha).unwrap();
+            let simplified =
+                (alpha * p.wtot(lb) / (p.m * (p.p - p.n) as f64)).floor() as u64;
+            assert_eq!(paper, simplified);
+        }
+    }
+
+    #[test]
+    fn sigma_minus_zero_when_alpha_zero() {
+        assert_eq!(sigma_minus(&params(), 0, 0.0), Some(0));
+    }
+
+    #[test]
+    fn sigma_minus_none_when_no_growth() {
+        let mut p = params();
+        p.m = 0.0;
+        assert_eq!(sigma_minus(&p, 0, 0.5), None);
+        assert_eq!(sigma_minus(&p, 0, 0.0), Some(0));
+    }
+
+    #[test]
+    fn branch_form_equals_max_of_tracks() {
+        let p = params();
+        let alpha = 0.4;
+        let (pf, nf) = (p.p as f64, p.n as f64);
+        let fair = p.wtot(3) / pf;
+        for t in 0..200u32 {
+            let track1 = ((1.0 + alpha * nf / (pf - nf)) * fair + p.a * t as f64) / p.omega;
+            let track2 = ((1.0 - alpha) * fair + (p.m + p.a) * t as f64) / p.omega;
+            let expected = track1.max(track2);
+            let got = iteration_time(&p, 3, t, alpha);
+            assert!(
+                (got - expected).abs() < 1e-12 * expected,
+                "t={t}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ulba_with_alpha_zero_is_standard() {
+        let p = params();
+        for t in 0..150u32 {
+            let u = iteration_time(&p, 7, t, 0.0);
+            let s = standard::iteration_time(&p, 7, t);
+            assert!((u - s).abs() < 1e-15, "t={t}");
+        }
+    }
+
+    #[test]
+    fn interval_sum_matches_naive_sum() {
+        let p = params();
+        for alpha in [0.0, 0.25, 0.6, 1.0] {
+            for lb_prev in [0u32, 11] {
+                for len in [0u32, 1, 5, 37, 120] {
+                    let naive: f64 =
+                        (0..len).map(|t| iteration_time(&p, lb_prev, t, alpha)).sum();
+                    let closed = interval_compute_time(&p, lb_prev, len, alpha);
+                    assert!(
+                        (naive - closed).abs() <= 1e-9 * naive.max(1.0),
+                        "alpha={alpha} lb_prev={lb_prev} len={len}: {naive} vs {closed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_sum_handles_never_catching_up() {
+        let mut p = params();
+        p.m = 0.0;
+        let naive: f64 = (0..50).map(|t| iteration_time(&p, 0, t, 0.5)).sum();
+        let closed = interval_compute_time(&p, 0, 50, 0.5);
+        assert!((naive - closed).abs() < 1e-9 * naive);
+    }
+
+    #[test]
+    fn sigma_plus_degenerates_to_menon_tau_at_alpha_zero() {
+        let p = params();
+        let sp = sigma_plus(&p, 0, 0.0).unwrap();
+        let tau = standard::menon_tau(&p).unwrap();
+        assert!(
+            (sp - tau).abs() < 1e-9 * tau,
+            "σ⁺(α=0) = {sp} should equal Menon τ = {tau}"
+        );
+    }
+
+    #[test]
+    fn sigma_plus_exceeds_sigma_minus() {
+        let p = params();
+        for alpha in [0.1, 0.4, 0.8] {
+            let sm = sigma_minus(&p, 0, alpha).unwrap() as f64;
+            let sp = sigma_plus(&p, 0, alpha).unwrap();
+            assert!(sp > sm, "alpha={alpha}: σ⁺={sp} must exceed σ⁻={sm}");
+        }
+    }
+
+    #[test]
+    fn sigma_plus_none_without_growth() {
+        let mut p = params();
+        p.n = 0;
+        assert!(sigma_plus(&p, 0, 0.3).is_none());
+    }
+
+    #[test]
+    fn sigma_plus_root_satisfies_cost_balance() {
+        // Eq. (9): imbalance cost over τ equals ULBA overhead + C.
+        let p = params();
+        let alpha = 0.35;
+        let lbp = 4u32;
+        let sm = sigma_minus(&p, lbp, alpha).unwrap() as f64;
+        let tau = sigma_plus(&p, lbp, alpha).unwrap() - sm;
+        let (pf, nf) = (p.p as f64, p.n as f64);
+        let imbalance = p.m_hat() * tau * tau / (2.0 * p.omega);
+        let overhead = alpha * nf / (pf - nf)
+            * (p.wtot(lbp) + (sm + tau) * p.delta_w())
+            / (p.omega * pf);
+        assert!(
+            (imbalance - overhead - p.c).abs() < 1e-6 * imbalance.max(1.0),
+            "imbalance {imbalance} != overhead {overhead} + C {}",
+            p.c
+        );
+    }
+}

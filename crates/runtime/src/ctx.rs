@@ -1,0 +1,332 @@
+//! The per-rank SPMD context: the API an application rank programs against.
+//!
+//! Looks like a tiny MPI: `compute`, `send`/`recv`/`drain`, `barrier`,
+//! `broadcast`, `gather`, `scatter`, `allgather`, `allreduce`. Every
+//! operation advances the rank's virtual clock according to the
+//! [`MachineSpec`] cost model and books the time into [`RankMetrics`].
+
+use crate::cost::MachineSpec;
+use crate::hub::Hub;
+use crate::mailbox::{MailboxSet, Tag};
+use crate::metrics::{Collector, RankMetrics, TimeKind};
+use crate::time::VirtualTime;
+use crate::trace::{Event, EventKind, Tracer};
+use std::sync::Arc;
+
+/// Execution context handed to each rank closure by [`crate::engine::run`].
+pub struct SpmdCtx<'a> {
+    rank: usize,
+    size: usize,
+    hub: &'a Hub,
+    mail: &'a MailboxSet,
+    spec: &'a MachineSpec,
+    collector: &'a Collector,
+    clock: VirtualTime,
+    metrics: RankMetrics,
+    send_seq: u64,
+    mark_clock: VirtualTime,
+    mark_busy: f64,
+    mark_lb: f64,
+    lb_depth: u32,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl<'a> SpmdCtx<'a> {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        hub: &'a Hub,
+        mail: &'a MailboxSet,
+        spec: &'a MachineSpec,
+        collector: &'a Collector,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            hub,
+            mail,
+            spec,
+            collector,
+            clock: VirtualTime::ZERO,
+            metrics: RankMetrics::default(),
+            send_seq: 0,
+            mark_clock: VirtualTime::ZERO,
+            mark_busy: 0.0,
+            mark_lb: 0.0,
+            lb_depth: 0,
+            tracer: None,
+        }
+    }
+
+    pub(crate) fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    #[inline]
+    fn trace(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(Event { rank: self.rank, at: self.clock, kind });
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the run.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> VirtualTime {
+        self.clock
+    }
+
+    /// The machine cost model of the run.
+    pub fn machine(&self) -> &MachineSpec {
+        self.spec
+    }
+
+    /// Accumulated time accounting of this rank.
+    pub fn metrics(&self) -> &RankMetrics {
+        &self.metrics
+    }
+
+    // --- time charging ----------------------------------------------------
+
+    /// Perform `flops` of useful computation (advances the clock by
+    /// `flops/ω` and books it as busy time).
+    pub fn compute(&mut self, flops: f64) {
+        let secs = self.spec.compute_secs(self.rank, flops);
+        self.elapse(TimeKind::Busy, secs);
+        self.trace(EventKind::Compute { flops });
+    }
+
+    /// Advance the clock by `secs`, booked as `kind`.
+    ///
+    /// Inside a [`SpmdCtx::begin_lb`]/[`SpmdCtx::end_lb`] section all
+    /// non-idle time is rebooked as [`TimeKind::Lb`], so load-balancer
+    /// internals (gathers, partitioning compute, migration sends) show up as
+    /// LB cost rather than application work.
+    pub fn elapse(&mut self, kind: TimeKind, secs: f64) {
+        debug_assert!(secs >= 0.0 && secs.is_finite(), "invalid elapse {secs}");
+        let kind = if self.lb_depth > 0 && kind != TimeKind::Idle {
+            TimeKind::Lb
+        } else {
+            kind
+        };
+        self.clock += secs;
+        self.metrics.charge(kind, secs);
+        if kind == TimeKind::Busy {
+            self.mark_busy += secs;
+        } else if kind == TimeKind::Lb {
+            self.mark_lb += secs;
+        }
+    }
+
+    /// Advance the clock by `secs` of load-balancing work.
+    pub fn elapse_lb(&mut self, secs: f64) {
+        self.elapse(TimeKind::Lb, secs);
+    }
+
+    /// Enter a load-balancing section: until the matching
+    /// [`SpmdCtx::end_lb`], compute and communication time is booked as
+    /// [`TimeKind::Lb`]. Sections may nest.
+    pub fn begin_lb(&mut self) {
+        self.lb_depth += 1;
+        self.trace(EventKind::LbBegin);
+    }
+
+    /// Leave a load-balancing section (panics on unmatched calls).
+    pub fn end_lb(&mut self) {
+        assert!(self.lb_depth > 0, "end_lb without begin_lb");
+        self.lb_depth -= 1;
+        self.trace(EventKind::LbEnd);
+    }
+
+    // --- point-to-point ---------------------------------------------------
+
+    /// Send `value` (`bytes` on the wire) to rank `to` under `tag`.
+    ///
+    /// Non-blocking: the sender is charged the injection latency `α`; the
+    /// message arrives at `now + α + bytes/bw`.
+    pub fn send<T: Send + 'static>(&mut self, to: usize, tag: Tag, value: T, bytes: usize) {
+        assert!(to < self.size, "send to out-of-range rank {to}");
+        assert_ne!(to, self.rank, "self-sends are not modelled; keep data local");
+        let arrival = self.clock + self.spec.p2p_secs(bytes);
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        self.mail.post(self.rank, to, tag, seq, arrival, value);
+        // Injection overhead on the sender.
+        self.elapse(TimeKind::Comm, self.spec.latency);
+        self.trace(EventKind::Send { to, tag, bytes });
+    }
+
+    /// Blocking receive from `from` under `tag`; waits (idle time) until the
+    /// message's virtual arrival.
+    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: Tag) -> T {
+        let got = self.mail.recv::<T>(self.rank, from, tag);
+        let wait = got.arrival.since(self.clock);
+        self.metrics.charge(TimeKind::Idle, wait);
+        self.clock = self.clock.max(got.arrival);
+        self.trace(EventKind::Recv { from, tag });
+        got.value
+    }
+
+    /// Drain all delivered messages with `tag`, in deterministic
+    /// `(from, seq)` order, advancing the clock past the latest arrival.
+    ///
+    /// BSP discipline: call after a [`SpmdCtx::barrier`] so the drained set
+    /// (everything posted in the previous superstep) is deterministic.
+    pub fn drain<T: Send + 'static>(&mut self, tag: Tag) -> Vec<(usize, T)> {
+        let msgs = self.mail.drain::<T>(self.rank, tag);
+        let mut out = Vec::with_capacity(msgs.len());
+        for m in msgs {
+            let wait = m.arrival.since(self.clock);
+            self.metrics.charge(TimeKind::Idle, wait);
+            self.clock = self.clock.max(m.arrival);
+            out.push((m.from, m.value));
+        }
+        out
+    }
+
+    // --- collectives --------------------------------------------------------
+
+    fn sync(&mut self, max_clock: VirtualTime, cost: f64, kind: TimeKind) {
+        let wait = max_clock.since(self.clock);
+        self.metrics.charge(TimeKind::Idle, wait);
+        self.clock = self.clock.max(max_clock);
+        self.elapse(kind, cost);
+    }
+
+    fn sync_traced(&mut self, op: &'static str, max_clock: VirtualTime, cost: f64) {
+        self.sync(max_clock, cost, TimeKind::Comm);
+        self.trace(EventKind::Collective { op });
+    }
+
+    /// Synchronize all ranks (clocks meet at the global maximum plus the
+    /// barrier cost).
+    pub fn barrier(&mut self) {
+        let round = self.hub.exchange(self.rank, "barrier", (), self.clock);
+        let cost = self.spec.barrier_secs(self.size);
+        self.sync_traced("barrier", round.max_clock, cost);
+    }
+
+    /// Gather `value` from every rank onto every rank (rank-indexed).
+    pub fn allgather<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        value: T,
+        bytes_per_rank: usize,
+    ) -> Vec<T> {
+        let round = self.hub.exchange(self.rank, "allgather", value, self.clock);
+        let cost = self.spec.allgather_secs(self.size, bytes_per_rank);
+        self.sync_traced("allgather", round.max_clock, cost);
+        round.values.to_vec()
+    }
+
+    /// Reduce `value` across ranks with `combine` (must be associative and
+    /// commutative); every rank receives the result.
+    pub fn allreduce<T, F>(&mut self, value: T, bytes: usize, combine: F) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let round = self.hub.exchange(self.rank, "allreduce", value, self.clock);
+        let cost = self.spec.allreduce_secs(self.size, bytes);
+        self.sync_traced("allreduce", round.max_clock, cost);
+        let mut acc = round.values[0].clone();
+        for v in &round.values[1..] {
+            acc = combine(&acc, v);
+        }
+        acc
+    }
+
+    /// Sum an `f64` across all ranks.
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allreduce(value, std::mem::size_of::<f64>(), |a, b| a + b)
+    }
+
+    /// Maximum of an `f64` across all ranks.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        self.allreduce(value, std::mem::size_of::<f64>(), |a, b| a.max(*b))
+    }
+
+    /// Broadcast from `root`: the root passes `Some(value)`, everyone else
+    /// `None`; all ranks receive the root's value.
+    pub fn broadcast<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        bytes: usize,
+    ) -> T {
+        debug_assert_eq!(value.is_some(), self.rank == root, "only the root supplies a value");
+        let round = self.hub.exchange(self.rank, "broadcast", value, self.clock);
+        let cost = self.spec.broadcast_secs(self.size, bytes);
+        self.sync_traced("broadcast", round.max_clock, cost);
+        round.values[root].clone().expect("root deposited a value")
+    }
+
+    /// Gather `value` from every rank to `root` (returns `Some(values)` on
+    /// the root, `None` elsewhere).
+    pub fn gather<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        root: usize,
+        value: T,
+        bytes_per_rank: usize,
+    ) -> Option<Vec<T>> {
+        let round = self.hub.exchange(self.rank, "gather", value, self.clock);
+        let cost = self.spec.gather_secs(self.size, bytes_per_rank);
+        self.sync_traced("gather", round.max_clock, cost);
+        (self.rank == root).then(|| round.values.to_vec())
+    }
+
+    /// Scatter: the root supplies one value per rank; each rank receives its
+    /// slot.
+    pub fn scatter<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        root: usize,
+        values: Option<Vec<T>>,
+        bytes_per_rank: usize,
+    ) -> T {
+        debug_assert_eq!(values.is_some(), self.rank == root, "only the root supplies values");
+        if let Some(v) = &values {
+            assert_eq!(v.len(), self.size, "scatter needs one value per rank");
+        }
+        let round = self.hub.exchange(self.rank, "scatter", values, self.clock);
+        let cost = self.spec.scatter_secs(self.size, bytes_per_rank);
+        self.sync_traced("scatter", round.max_clock, cost);
+        round.values[root].as_ref().expect("root deposited values")[self.rank].clone()
+    }
+
+    // --- instrumentation (free in virtual time) -----------------------------
+
+    /// Record the end of application iteration `iter` for this rank.
+    ///
+    /// Call at the same program point on every rank (typically right after
+    /// the end-of-iteration synchronization) so that per-iteration wall
+    /// times line up. Free in virtual time.
+    pub fn mark_iteration(&mut self, iter: u64) {
+        let busy_delta = self.mark_busy;
+        let lb_delta = self.mark_lb;
+        self.mark_busy = 0.0;
+        self.mark_lb = 0.0;
+        self.mark_clock = self.clock;
+        self.collector.push_mark(iter, self.rank, busy_delta, lb_delta, self.clock);
+        self.trace(EventKind::Iteration { iter });
+    }
+
+    /// Record that a load-balancing step happened at iteration `iter`
+    /// (typically called by rank 0 only). Free in virtual time.
+    pub fn mark_lb_event(&mut self, iter: u64) {
+        self.collector.push_lb_event(iter);
+    }
+
+    /// Consume the context at the end of the rank closure, returning the
+    /// final clock and metrics (used by the engine; applications normally
+    /// just drop the context).
+    pub(crate) fn finish(self) -> (VirtualTime, RankMetrics) {
+        (self.clock, self.metrics)
+    }
+}

@@ -1,0 +1,159 @@
+//! The run engine: spawns one OS thread per rank, wires up the hub,
+//! mailboxes and metrics collector, and joins everything into a
+//! [`RunReport`].
+
+use crate::cost::MachineSpec;
+use crate::ctx::SpmdCtx;
+use crate::hub::Hub;
+use crate::mailbox::MailboxSet;
+use crate::metrics::{Collector, IterationStats, RankMetrics};
+use crate::time::VirtualTime;
+use crate::trace::Tracer;
+use std::sync::Arc;
+
+/// Configuration of one SPMD run.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Number of ranks (each becomes an OS thread).
+    pub ranks: usize,
+    /// Machine cost model driving the virtual clocks.
+    pub spec: MachineSpec,
+    /// Per-thread stack size in bytes (ranks are lightweight; 2 MiB default
+    /// keeps 256-rank runs comfortably under control).
+    pub stack_size: usize,
+    /// Optional event tracer shared by all ranks (free in virtual time).
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+impl RunConfig {
+    /// A run with `ranks` ranks on the default machine.
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            ranks,
+            spec: MachineSpec::default(),
+            stack_size: 2 * 1024 * 1024,
+            tracer: None,
+        }
+    }
+
+    /// Override the machine model.
+    pub fn with_spec(mut self, spec: MachineSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Attach an event tracer.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+}
+
+/// Everything measured during a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Final per-rank time accounting, indexed by rank.
+    pub rank_metrics: Vec<RankMetrics>,
+    /// Final virtual clock of each rank.
+    pub final_clocks: Vec<VirtualTime>,
+    /// Per-iteration aggregates (only iterations marked by every rank).
+    pub iterations: Vec<IterationStats>,
+    /// Iterations at which an LB step was recorded.
+    pub lb_iterations: Vec<u64>,
+}
+
+impl RunReport {
+    /// The virtual makespan: the latest final clock across ranks. This is
+    /// the quantity the paper reports as application running time.
+    pub fn makespan(&self) -> VirtualTime {
+        self.final_clocks.iter().copied().max().unwrap_or(VirtualTime::ZERO)
+    }
+
+    /// Average PE utilization over the whole run:
+    /// `Σ busy / (P · makespan)`.
+    pub fn mean_utilization(&self) -> f64 {
+        let makespan = self.makespan().as_secs();
+        if makespan == 0.0 {
+            return 1.0;
+        }
+        let busy: f64 = self.rank_metrics.iter().map(|m| m.busy).sum();
+        (busy / (self.rank_metrics.len() as f64 * makespan)).clamp(0.0, 1.0)
+    }
+
+    /// Number of LB steps recorded.
+    pub fn lb_call_count(&self) -> usize {
+        self.lb_iterations.len()
+    }
+}
+
+/// Run `body` as an SPMD program over `config.ranks` ranks and collect the
+/// report. `body` is invoked once per rank with that rank's [`SpmdCtx`].
+///
+/// Panics in any rank propagate after all threads have been joined (the
+/// panic_payload of the lowest-ranked failing thread is resumed).
+pub fn run<F>(config: RunConfig, body: F) -> RunReport
+where
+    F: Fn(&mut SpmdCtx<'_>) + Sync,
+{
+    assert!(config.ranks >= 1, "need at least one rank");
+    let hub = Hub::new(config.ranks);
+    let mail = MailboxSet::new(config.ranks);
+    let collector = Collector::new(config.ranks);
+    let spec = &config.spec;
+    let body = &body;
+
+    let mut results: Vec<Option<(VirtualTime, RankMetrics)>> = Vec::new();
+    for _ in 0..config.ranks {
+        results.push(None);
+    }
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.ranks);
+        for rank in 0..config.ranks {
+            let hub = &hub;
+            let mail = &mail;
+            let collector = &collector;
+            let ranks = config.ranks;
+            let tracer = config.tracer.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(config.stack_size)
+                .spawn_scoped(scope, move || {
+                    let mut ctx = SpmdCtx::new(rank, ranks, hub, mail, spec, collector);
+                    if let Some(tracer) = tracer {
+                        ctx.set_tracer(tracer);
+                    }
+                    body(&mut ctx);
+                    ctx.finish()
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(res) => results[rank] = Some(res),
+                Err(p) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+    });
+
+    let (final_clocks, rank_metrics): (Vec<_>, Vec<_>) = results
+        .into_iter()
+        .map(|r| r.expect("all ranks joined successfully"))
+        .unzip();
+
+    RunReport {
+        rank_metrics,
+        final_clocks,
+        iterations: collector.iteration_stats(),
+        lb_iterations: collector.lb_iterations(),
+    }
+}

@@ -1,0 +1,251 @@
+//! The rendezvous hub: a generation-stamped all-to-all exchange primitive on
+//! which every collective (barrier, broadcast, gather, allgather, allreduce,
+//! scatter) is built.
+//!
+//! All `P` ranks deposit a typed value and a clock; once the last rank
+//! arrives, everyone observes the full value vector (rank-indexed, hence
+//! deterministic) and the maximum deposit clock. A two-phase protocol
+//! (deposit → drain) prevents a fast rank from entering the next collective
+//! before the previous one has been fully read.
+
+use crate::time::VirtualTime;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Result of one exchange round: the rank-indexed values and the latest
+/// deposit clock (the virtual instant at which the collective can complete).
+pub struct ExchangeRound<T> {
+    /// Values deposited by each rank, indexed by rank.
+    pub values: Arc<Vec<T>>,
+    /// Maximum clock among the participants at deposit time.
+    pub max_clock: VirtualTime,
+}
+
+impl<T> Clone for ExchangeRound<T> {
+    fn clone(&self) -> Self {
+        Self { values: Arc::clone(&self.values), max_clock: self.max_clock }
+    }
+}
+
+struct HubState {
+    generation: u64,
+    op_name: Option<&'static str>,
+    values: Vec<Option<Box<dyn Any + Send>>>,
+    arrived: usize,
+    max_clock: VirtualTime,
+    /// Type-erased `Arc<Vec<T>>` of the completed round.
+    result: Option<Box<dyn Any + Send>>,
+    result_max_clock: VirtualTime,
+    departed: usize,
+}
+
+/// Rendezvous coordinator shared by all rank threads of one run.
+pub struct Hub {
+    size: usize,
+    state: Mutex<HubState>,
+    cond: Condvar,
+}
+
+impl Hub {
+    /// Create a hub for `size` ranks.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "a run needs at least one rank");
+        Self {
+            size,
+            state: Mutex::new(HubState {
+                generation: 0,
+                op_name: None,
+                values: (0..size).map(|_| None).collect(),
+                arrived: 0,
+                max_clock: VirtualTime::ZERO,
+                result: None,
+                result_max_clock: VirtualTime::ZERO,
+                departed: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Number of participating ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Perform one all-to-all exchange. Every rank must call this with the
+    /// same value type `T` and the same `op_name`; mismatches indicate a
+    /// collective-ordering bug in the application and panic with a
+    /// diagnostic. Blocks until all ranks of the current generation arrive.
+    pub fn exchange<T: Send + Sync + 'static>(
+        &self,
+        rank: usize,
+        op_name: &'static str,
+        value: T,
+        clock: VirtualTime,
+    ) -> ExchangeRound<T> {
+        assert!(rank < self.size, "rank {rank} out of range (size {})", self.size);
+        let mut st = self.state.lock();
+
+        // Entry guard: the previous round must be fully drained.
+        while st.result.is_some() {
+            self.cond.wait(&mut st);
+        }
+
+        match st.op_name {
+            None => st.op_name = Some(op_name),
+            Some(existing) => assert_eq!(
+                existing, op_name,
+                "collective mismatch: rank {rank} entered `{op_name}` while \
+                 others are in `{existing}` (generation {})",
+                st.generation
+            ),
+        }
+        assert!(
+            st.values[rank].is_none(),
+            "rank {rank} deposited twice in collective `{op_name}` \
+             (generation {})",
+            st.generation
+        );
+        st.values[rank] = Some(Box::new(value));
+        st.arrived += 1;
+        st.max_clock = st.max_clock.max(clock);
+
+        if st.arrived == self.size {
+            // Last to arrive: materialize the rank-indexed vector.
+            let mut vec: Vec<T> = Vec::with_capacity(self.size);
+            for slot in st.values.iter_mut() {
+                let boxed = slot.take().expect("all ranks deposited");
+                vec.push(*boxed.downcast::<T>().unwrap_or_else(|_| {
+                    panic!(
+                        "collective `{op_name}`: payload type mismatch \
+                         across ranks"
+                    )
+                }));
+            }
+            st.result = Some(Box::new(Arc::new(vec)));
+            st.result_max_clock = st.max_clock;
+            self.cond.notify_all();
+        } else {
+            let gen = st.generation;
+            while st.result.is_none() {
+                debug_assert_eq!(st.generation, gen, "round completed without us");
+                self.cond.wait(&mut st);
+            }
+        }
+
+        // Drain phase: read the shared result.
+        let arc = st
+            .result
+            .as_ref()
+            .expect("result present in drain phase")
+            .downcast_ref::<Arc<Vec<T>>>()
+            .unwrap_or_else(|| {
+                panic!("collective `{op_name}`: payload type mismatch across ranks")
+            })
+            .clone();
+        let max_clock = st.result_max_clock;
+        st.departed += 1;
+        if st.departed == self.size {
+            // Reset for the next generation and release entry-guard waiters.
+            st.result = None;
+            st.arrived = 0;
+            st.departed = 0;
+            st.max_clock = VirtualTime::ZERO;
+            st.op_name = None;
+            st.generation += 1;
+            self.cond.notify_all();
+        }
+        drop(st);
+
+        ExchangeRound { values: arc, max_clock }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_rank_exchange_is_immediate() {
+        let hub = Hub::new(1);
+        let round = hub.exchange(0, "test", 42u32, VirtualTime::from_secs(1.0));
+        assert_eq!(*round.values, vec![42]);
+        assert_eq!(round.max_clock.as_secs(), 1.0);
+    }
+
+    #[test]
+    fn values_are_rank_indexed() {
+        let hub = Hub::new(8);
+        thread::scope(|s| {
+            for rank in 0..8usize {
+                let hub = &hub;
+                s.spawn(move || {
+                    let round = hub.exchange(
+                        rank,
+                        "gather-ranks",
+                        rank * 10,
+                        VirtualTime::from_secs(rank as f64),
+                    );
+                    assert_eq!(*round.values, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+                    assert_eq!(round.max_clock.as_secs(), 7.0);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn consecutive_rounds_do_not_mix() {
+        let hub = Hub::new(4);
+        thread::scope(|s| {
+            for rank in 0..4usize {
+                let hub = &hub;
+                s.spawn(move || {
+                    for round_idx in 0..100u64 {
+                        let round = hub.exchange(
+                            rank,
+                            "loop",
+                            (rank as u64, round_idx),
+                            VirtualTime::from_secs(round_idx as f64),
+                        );
+                        for (r, &(vr, vi)) in round.values.iter().enumerate() {
+                            assert_eq!(vr, r as u64);
+                            assert_eq!(vi, round_idx, "round {round_idx} mixed with {vi}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn max_clock_is_maximum_of_deposits() {
+        let hub = Hub::new(3);
+        thread::scope(|s| {
+            for rank in 0..3usize {
+                let hub = &hub;
+                s.spawn(move || {
+                    let clock = VirtualTime::from_secs([0.5, 9.25, 3.0][rank]);
+                    let round = hub.exchange(rank, "clocks", (), clock);
+                    assert_eq!(round.max_clock.as_secs(), 9.25);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn many_ranks_heavy_payloads() {
+        let hub = Hub::new(64);
+        thread::scope(|s| {
+            for rank in 0..64usize {
+                let hub = &hub;
+                s.spawn(move || {
+                    let payload = vec![rank as u8; 1024];
+                    let round = hub.exchange(rank, "heavy", payload, VirtualTime::ZERO);
+                    assert_eq!(round.values.len(), 64);
+                    assert_eq!(round.values[17][0], 17);
+                });
+            }
+        });
+    }
+}

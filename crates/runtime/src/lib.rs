@@ -1,0 +1,264 @@
+//! `ulba-runtime` — a virtual-time SPMD distributed-memory runtime.
+//!
+//! Boulmier et al. (CLUSTER 2019) evaluated ULBA with MPI on a physical
+//! cluster. This crate is the substitute substrate: it runs an SPMD program
+//! with one OS thread per rank, real message passing between threads, and a
+//! **virtual clock** per rank advanced by a machine cost model (compute =
+//! FLOPs/ω; communication = Hockney `α + n·β` with log-tree collectives).
+//! Iteration wall time — the input to every load-balancing decision in the
+//! paper — is the max of the rank clocks at each synchronization point,
+//! exactly as on a bulk-synchronous machine, but deterministic and
+//! independent of how many physical cores run the simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use ulba_runtime::{run, RunConfig};
+//!
+//! let report = run(RunConfig::new(4), |ctx| {
+//!     // Rank 0 works twice as long as the others...
+//!     let flops = if ctx.rank() == 0 { 2.0e9 } else { 1.0e9 };
+//!     ctx.compute(flops);
+//!     ctx.barrier();
+//!     ctx.mark_iteration(0);
+//! });
+//! // ...so the makespan is rank 0's compute time (plus the barrier).
+//! assert!(report.makespan().as_secs() >= 2.0);
+//! assert!(report.mean_utilization() < 0.8, "half the machine idled");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod ctx;
+pub mod engine;
+pub mod hub;
+pub mod mailbox;
+pub mod metrics;
+pub mod time;
+pub mod trace;
+
+pub use cost::MachineSpec;
+pub use ctx::SpmdCtx;
+pub use engine::{run, RunConfig, RunReport};
+pub use mailbox::Tag;
+pub use metrics::{IterationStats, RankMetrics, TimeKind};
+pub use time::VirtualTime;
+pub use trace::{Event, EventKind, Tracer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_compute_only() {
+        let report = run(RunConfig::new(1), |ctx| {
+            ctx.compute(3.0e9); // 3 GFLOP at 1 GFLOPS
+        });
+        assert!((report.makespan().as_secs() - 3.0).abs() < 1e-9);
+        assert_eq!(report.rank_metrics[0].busy, 3.0);
+    }
+
+    #[test]
+    fn makespan_is_max_rank_clock() {
+        let report = run(RunConfig::new(8), |ctx| {
+            ctx.compute(1.0e9 * (ctx.rank() as f64 + 1.0));
+        });
+        assert!((report.makespan().as_secs() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_syncs_clocks_and_books_idle() {
+        let report = run(RunConfig::new(4), |ctx| {
+            ctx.compute(if ctx.rank() == 3 { 4.0e9 } else { 1.0e9 });
+            ctx.barrier();
+        });
+        // All final clocks equal (max + barrier cost).
+        let c0 = report.final_clocks[0];
+        for c in &report.final_clocks {
+            assert!((c.as_secs() - c0.as_secs()).abs() < 1e-12);
+        }
+        // Ranks 0..3 waited ~3 s each.
+        for r in 0..3 {
+            assert!((report.rank_metrics[r].idle - 3.0).abs() < 1e-6, "rank {r}");
+        }
+        assert!(report.rank_metrics[3].idle < 1e-9);
+    }
+
+    #[test]
+    fn p2p_roundtrip_and_arrival_times() {
+        let report = run(RunConfig::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute(1.0e9);
+                ctx.send(1, 7, 0xDEADu32, 1024);
+            } else {
+                let v: u32 = ctx.recv(0, 7);
+                assert_eq!(v, 0xDEAD);
+                // Receiver idled until the message arrived (~1 s + net).
+                assert!(ctx.now().as_secs() >= 1.0);
+            }
+        });
+        assert!(report.rank_metrics[1].idle > 0.9);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        run(RunConfig::new(16), |ctx| {
+            let sum = ctx.allreduce_sum(ctx.rank() as f64);
+            assert_eq!(sum, (0..16).sum::<usize>() as f64);
+            let max = ctx.allreduce_max(ctx.rank() as f64);
+            assert_eq!(max, 15.0);
+        });
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        run(RunConfig::new(5), |ctx| {
+            let v = ctx.broadcast(3, (ctx.rank() == 3).then_some(vec![1u8, 2, 3]), 3);
+            assert_eq!(v, vec![1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn gather_only_root_receives() {
+        run(RunConfig::new(6), |ctx| {
+            let g = ctx.gather(2, ctx.rank() * 2, 8);
+            if ctx.rank() == 2 {
+                assert_eq!(g.unwrap(), vec![0, 2, 4, 6, 8, 10]);
+            } else {
+                assert!(g.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_delivers_rank_slot() {
+        run(RunConfig::new(4), |ctx| {
+            let values =
+                (ctx.rank() == 0).then(|| (0..4).map(|r| format!("slot-{r}")).collect());
+            let mine = ctx.scatter(0, values, 16);
+            assert_eq!(mine, format!("slot-{}", ctx.rank()));
+        });
+    }
+
+    #[test]
+    fn allgather_is_rank_indexed() {
+        run(RunConfig::new(7), |ctx| {
+            let all = ctx.allgather(ctx.rank() as u64 * 3, 8);
+            assert_eq!(all, (0..7).map(|r| r * 3).collect::<Vec<u64>>());
+        });
+    }
+
+    #[test]
+    fn drain_after_barrier_is_deterministic() {
+        run(RunConfig::new(6), |ctx| {
+            // Everyone sends to rank 0.
+            if ctx.rank() != 0 {
+                ctx.send(0, 1, ctx.rank(), 8);
+            }
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                let msgs: Vec<(usize, usize)> = ctx.drain(1);
+                let from: Vec<usize> = msgs.iter().map(|(f, _)| *f).collect();
+                assert_eq!(from, vec![1, 2, 3, 4, 5], "drain must be (from, seq)-sorted");
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn iteration_stats_reflect_imbalance() {
+        let report = run(RunConfig::new(4), |ctx| {
+            for iter in 0..3u64 {
+                // Iteration 1 is imbalanced: rank 0 does 4x work.
+                let flops = if iter == 1 && ctx.rank() == 0 { 4.0e9 } else { 1.0e9 };
+                ctx.compute(flops);
+                ctx.barrier();
+                ctx.mark_iteration(iter);
+            }
+        });
+        assert_eq!(report.iterations.len(), 3);
+        let u0 = report.iterations[0].mean_utilization;
+        let u1 = report.iterations[1].mean_utilization;
+        let u2 = report.iterations[2].mean_utilization;
+        assert!(u1 < u0, "imbalanced iteration must show lower utilization");
+        assert!(u1 < u2);
+        // Balanced iterations near 100 %.
+        assert!(u0 > 0.95 && u2 > 0.95);
+    }
+
+    #[test]
+    fn lb_events_recorded() {
+        let report = run(RunConfig::new(3), |ctx| {
+            ctx.compute(1.0e9);
+            if ctx.rank() == 0 {
+                ctx.mark_lb_event(5);
+                ctx.mark_lb_event(9);
+            }
+            ctx.barrier();
+        });
+        assert_eq!(report.lb_iterations, vec![5, 9]);
+        assert_eq!(report.lb_call_count(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let go = || {
+            run(RunConfig::new(12), |ctx| {
+                for iter in 0..5u64 {
+                    ctx.compute(1.0e8 * ((ctx.rank() + 1) as f64));
+                    let next = (ctx.rank() + 1) % ctx.size();
+                    let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                    ctx.send(next, 2, ctx.rank() as u32, 64);
+                    let _: u32 = ctx.recv(prev, 2);
+                    ctx.barrier();
+                    ctx.mark_iteration(iter);
+                }
+            })
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.makespan().as_secs(), b.makespan().as_secs());
+        for (x, y) in a.rank_metrics.iter().zip(&b.rank_metrics) {
+            assert_eq!(x, y);
+        }
+        for (x, y) in a.iterations.iter().zip(&b.iterations) {
+            assert_eq!(x.wall_time, y.wall_time);
+            assert_eq!(x.mean_utilization, y.mean_utilization);
+        }
+    }
+
+    #[test]
+    fn many_ranks_smoke() {
+        // 128 rank threads on one core: correctness, not speed.
+        let report = run(RunConfig::new(128), |ctx| {
+            let sum = ctx.allreduce_sum(1.0);
+            assert_eq!(sum, 128.0);
+            ctx.compute(1.0e6);
+            ctx.barrier();
+        });
+        assert_eq!(report.rank_metrics.len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        run(RunConfig::new(2), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            // Rank 0 performs no blocking ops here, so it cannot deadlock.
+        });
+    }
+
+    #[test]
+    fn heterogeneous_speeds_shift_balance() {
+        let spec = MachineSpec::homogeneous(1.0e9).with_speeds(vec![1.0e9, 4.0e9]);
+        let report = run(RunConfig::new(2).with_spec(spec), |ctx| {
+            ctx.compute(4.0e9);
+        });
+        assert!((report.final_clocks[0].as_secs() - 4.0).abs() < 1e-9);
+        assert!((report.final_clocks[1].as_secs() - 1.0).abs() < 1e-9);
+    }
+}

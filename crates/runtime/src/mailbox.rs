@@ -1,0 +1,218 @@
+//! Point-to-point mailboxes with virtual arrival times.
+//!
+//! Each rank owns one mailbox. A message carries its sender, a user tag, a
+//! per-sender sequence number (FIFO per channel, deterministic drain order)
+//! and the virtual time at which it *arrives* at the destination under the
+//! Hockney model. Receives block until a matching envelope exists and then
+//! advance the receiver's clock to `max(local clock, arrival)`.
+
+use crate::time::VirtualTime;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+
+/// A tag distinguishing message streams (like an MPI tag).
+pub type Tag = u64;
+
+struct Envelope {
+    from: usize,
+    tag: Tag,
+    seq: u64,
+    arrival: VirtualTime,
+    payload: Box<dyn Any + Send>,
+}
+
+/// A received message: payload plus its metadata.
+pub struct Received<T> {
+    /// Sender rank.
+    pub from: usize,
+    /// Per-sender sequence number.
+    pub seq: u64,
+    /// Virtual arrival time at the destination.
+    pub arrival: VirtualTime,
+    /// The payload.
+    pub value: T,
+}
+
+/// The set of mailboxes for one run (indexed by destination rank).
+pub struct MailboxSet {
+    boxes: Vec<Mutex<Vec<Envelope>>>,
+    conds: Vec<Condvar>,
+}
+
+impl MailboxSet {
+    /// Create mailboxes for `size` ranks.
+    pub fn new(size: usize) -> Self {
+        Self {
+            boxes: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            conds: (0..size).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Deposit a message for `to`. `seq` must be monotonically increasing per
+    /// sender (the [`crate::ctx::SpmdCtx`] manages this).
+    pub fn post<T: Send + 'static>(
+        &self,
+        from: usize,
+        to: usize,
+        tag: Tag,
+        seq: u64,
+        arrival: VirtualTime,
+        value: T,
+    ) {
+        assert!(to < self.boxes.len(), "destination rank {to} out of range");
+        let mut inbox = self.boxes[to].lock();
+        inbox.push(Envelope { from, tag, seq, arrival, payload: Box::new(value) });
+        self.conds[to].notify_all();
+    }
+
+    /// Blocking receive of the next message from `from` with tag `tag`
+    /// (FIFO per sender/tag channel).
+    pub fn recv<T: Send + 'static>(&self, me: usize, from: usize, tag: Tag) -> Received<T> {
+        let mut inbox = self.boxes[me].lock();
+        loop {
+            // Lowest-seq match = FIFO within the (from, tag) channel.
+            let mut best: Option<(usize, u64)> = None;
+            for (i, env) in inbox.iter().enumerate() {
+                if env.from == from && env.tag == tag {
+                    match best {
+                        Some((_, seq)) if env.seq >= seq => {}
+                        _ => best = Some((i, env.seq)),
+                    }
+                }
+            }
+            if let Some((idx, _)) = best {
+                let env = inbox.swap_remove(idx);
+                let value = *env.payload.downcast::<T>().unwrap_or_else(|_| {
+                    panic!(
+                        "rank {me}: type mismatch receiving tag {tag} from rank {from}"
+                    )
+                });
+                return Received { from: env.from, seq: env.seq, arrival: env.arrival, value };
+            }
+            self.conds[me].wait(&mut inbox);
+        }
+    }
+
+    /// Drain every currently deposited message with tag `tag`, in
+    /// deterministic `(from, seq)` order.
+    ///
+    /// Intended for BSP use: after a barrier, all messages posted during the
+    /// previous superstep are guaranteed to be present, so the drained *set*
+    /// is deterministic even though physical arrival order is not.
+    pub fn drain<T: Send + 'static>(&self, me: usize, tag: Tag) -> Vec<Received<T>> {
+        let mut inbox = self.boxes[me].lock();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < inbox.len() {
+            if inbox[i].tag == tag {
+                let env = inbox.swap_remove(i);
+                let value = *env.payload.downcast::<T>().unwrap_or_else(|_| {
+                    panic!("rank {me}: type mismatch draining tag {tag}")
+                });
+                out.push(Received {
+                    from: env.from,
+                    seq: env.seq,
+                    arrival: env.arrival,
+                    value,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        drop(inbox);
+        out.sort_by_key(|r| (r.from, r.seq));
+        out
+    }
+
+    /// Number of messages currently waiting in `me`'s mailbox (all tags).
+    pub fn pending(&self, me: usize) -> usize {
+        self.boxes[me].lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn post_then_recv() {
+        let mail = MailboxSet::new(2);
+        mail.post(0, 1, 7, 0, VirtualTime::from_secs(1.5), String::from("hello"));
+        let got = mail.recv::<String>(1, 0, 7);
+        assert_eq!(got.value, "hello");
+        assert_eq!(got.from, 0);
+        assert_eq!(got.arrival.as_secs(), 1.5);
+    }
+
+    #[test]
+    fn recv_blocks_until_posted() {
+        let mail = MailboxSet::new(2);
+        thread::scope(|s| {
+            let m = &mail;
+            s.spawn(move || {
+                let got = m.recv::<u64>(1, 0, 1);
+                assert_eq!(got.value, 99);
+            });
+            s.spawn(move || {
+                // The receiver may or may not already be waiting; both orders
+                // must work.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                m.post(0, 1, 1, 0, VirtualTime::ZERO, 99u64);
+            });
+        });
+    }
+
+    #[test]
+    fn fifo_within_channel() {
+        let mail = MailboxSet::new(2);
+        for seq in 0..5u64 {
+            mail.post(0, 1, 3, seq, VirtualTime::ZERO, seq);
+        }
+        for expect in 0..5u64 {
+            assert_eq!(mail.recv::<u64>(1, 0, 3).value, expect);
+        }
+    }
+
+    #[test]
+    fn tags_do_not_interfere() {
+        let mail = MailboxSet::new(2);
+        mail.post(0, 1, 1, 0, VirtualTime::ZERO, 'a');
+        mail.post(0, 1, 2, 1, VirtualTime::ZERO, 'b');
+        assert_eq!(mail.recv::<char>(1, 0, 2).value, 'b');
+        assert_eq!(mail.recv::<char>(1, 0, 1).value, 'a');
+    }
+
+    #[test]
+    fn drain_is_sorted_by_sender_then_seq() {
+        let mail = MailboxSet::new(4);
+        mail.post(2, 0, 9, 0, VirtualTime::ZERO, 20u32);
+        mail.post(1, 0, 9, 1, VirtualTime::ZERO, 11u32);
+        mail.post(1, 0, 9, 0, VirtualTime::ZERO, 10u32);
+        mail.post(3, 0, 8, 0, VirtualTime::ZERO, 99u32); // different tag
+        let drained = mail.drain::<u32>(0, 9);
+        let order: Vec<(usize, u64, u32)> =
+            drained.iter().map(|r| (r.from, r.seq, r.value)).collect();
+        assert_eq!(order, vec![(1, 0, 10), (1, 1, 11), (2, 0, 20)]);
+        assert_eq!(mail.pending(0), 1, "other tag remains");
+    }
+
+    #[test]
+    fn drain_empty_is_empty() {
+        let mail = MailboxSet::new(1);
+        assert!(mail.drain::<u8>(0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mail = MailboxSet::new(2);
+        mail.post(0, 1, 0, 0, VirtualTime::ZERO, 1u8);
+        let _ = mail.recv::<u64>(1, 0, 0);
+    }
+}

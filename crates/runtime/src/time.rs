@@ -1,0 +1,131 @@
+//! Virtual time: the simulated wall clock of each rank.
+//!
+//! The paper's measurements were taken on a physical cluster; here every
+//! rank carries a *virtual clock* advanced by a cost model (compute =
+//! FLOPs/ω, communication = Hockney terms). Iteration "wall time" is the
+//! max over ranks, exactly as in a bulk-synchronous execution, which is the
+//! quantity all the paper's LB decisions consume.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds since the start of the run.
+///
+/// Wraps an `f64`; construction from negative or non-finite values panics in
+/// debug builds. Supports total ordering (virtual times are always finite).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct VirtualTime(f64);
+
+impl VirtualTime {
+    /// Time zero (start of the run).
+    pub const ZERO: VirtualTime = VirtualTime(0.0);
+
+    /// Construct from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "invalid virtual time {secs}");
+        Self(secs)
+    }
+
+    /// The value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Self) -> Self {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Saturating difference `self − earlier` (zero if `earlier` is later).
+    pub fn since(self, earlier: Self) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Add<f64> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: f64) -> VirtualTime {
+        debug_assert!(rhs.is_finite() && rhs >= 0.0, "invalid duration {rhs}");
+        VirtualTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for VirtualTime {
+    fn add_assign(&mut self, rhs: f64) {
+        debug_assert!(rhs.is_finite() && rhs >= 0.0, "invalid duration {rhs}");
+        self.0 += rhs;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = f64;
+    fn sub(self, rhs: VirtualTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Sum for VirtualTime {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        VirtualTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl Eq for VirtualTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for VirtualTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("virtual times are finite")
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::ZERO + 1.5;
+        assert_eq!(t.as_secs(), 1.5);
+        let u = t + 0.5;
+        assert_eq!(u - t, 0.5);
+        assert_eq!(u.since(t), 0.5);
+        assert_eq!(t.since(u), 0.0, "since saturates at zero");
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = VirtualTime::from_secs(1.0);
+        let b = VirtualTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!([a, b].into_iter().max().unwrap(), b);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: VirtualTime =
+            [1.0, 2.0, 3.0].into_iter().map(VirtualTime::from_secs).sum();
+        assert_eq!(total.as_secs(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid virtual time")]
+    #[cfg(debug_assertions)]
+    fn rejects_negative() {
+        VirtualTime::from_secs(-1.0);
+    }
+}

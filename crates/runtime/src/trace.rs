@@ -1,0 +1,179 @@
+//! Event tracing: an optional, bounded, virtual-time-stamped record of what
+//! every rank did — sends, receives, collectives, compute and LB sections.
+//!
+//! Tracing models an external instrumentation facility (like the Charm++
+//! runtime information Meta-Balancer consumes), so recording is **free in
+//! virtual time**. Traces are the debugging companion of the metrics
+//! module: metrics aggregate, traces explain.
+
+use crate::time::VirtualTime;
+use parking_lot::Mutex;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// `flops` of computation finished.
+    Compute {
+        /// Amount of work.
+        flops: f64,
+    },
+    /// A message was posted.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: u64,
+        /// Payload wire size.
+        bytes: usize,
+    },
+    /// A message was received.
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A collective completed.
+    Collective {
+        /// Operation name (static: "barrier", "allgather", …).
+        op: &'static str,
+    },
+    /// A load-balancing section started.
+    LbBegin,
+    /// A load-balancing section ended.
+    LbEnd,
+    /// An application iteration was marked.
+    Iteration {
+        /// Iteration index.
+        iter: u64,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Rank that produced the event.
+    pub rank: usize,
+    /// Virtual time at which the event completed.
+    pub at: VirtualTime,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+/// A bounded, thread-safe event sink (oldest events are dropped once the
+/// capacity is reached — traces are a debugging aid, not a ledger).
+pub struct Tracer {
+    capacity: usize,
+    events: Mutex<Vec<Event>>,
+    dropped: Mutex<u64>,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self { capacity, events: Mutex::new(Vec::new()), dropped: Mutex::new(0) }
+    }
+
+    /// Record an event (drops the oldest record when full).
+    pub fn record(&self, event: Event) {
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.remove(0);
+            *self.dropped.lock() += 1;
+        }
+        events.push(event);
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    /// Snapshot of the retained events, sorted by `(virtual time, rank)` —
+    /// a deterministic global timeline.
+    pub fn timeline(&self) -> Vec<Event> {
+        let mut events = self.events.lock().clone();
+        events.sort_by(|a, b| {
+            a.at.partial_cmp(&b.at).expect("finite times").then(a.rank.cmp(&b.rank))
+        });
+        events
+    }
+
+    /// Retained events of one rank, in recording order.
+    pub fn of_rank(&self, rank: usize) -> Vec<Event> {
+        self.events.lock().iter().filter(|e| e.rank == rank).copied().collect()
+    }
+
+    /// Events between two virtual times (inclusive start, exclusive end).
+    pub fn between(&self, start: VirtualTime, end: VirtualTime) -> Vec<Event> {
+        self.timeline()
+            .into_iter()
+            .filter(|e| e.at >= start && e.at < end)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: usize, at: f64, kind: EventKind) -> Event {
+        Event { rank, at: VirtualTime::from_secs(at), kind }
+    }
+
+    #[test]
+    fn timeline_is_time_then_rank_ordered() {
+        let t = Tracer::new(16);
+        t.record(ev(1, 2.0, EventKind::LbBegin));
+        t.record(ev(0, 1.0, EventKind::Iteration { iter: 0 }));
+        t.record(ev(0, 2.0, EventKind::LbEnd));
+        let tl = t.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].at.as_secs(), 1.0);
+        assert_eq!((tl[1].rank, tl[1].at.as_secs()), (0, 2.0));
+        assert_eq!((tl[2].rank, tl[2].at.as_secs()), (1, 2.0));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let t = Tracer::new(2);
+        t.record(ev(0, 1.0, EventKind::Compute { flops: 1.0 }));
+        t.record(ev(0, 2.0, EventKind::Compute { flops: 2.0 }));
+        t.record(ev(0, 3.0, EventKind::Compute { flops: 3.0 }));
+        assert_eq!(t.dropped(), 1);
+        let tl = t.timeline();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].at.as_secs(), 2.0);
+    }
+
+    #[test]
+    fn rank_and_window_filters() {
+        let t = Tracer::new(8);
+        t.record(ev(0, 1.0, EventKind::Send { to: 1, tag: 5, bytes: 100 }));
+        t.record(ev(1, 1.5, EventKind::Recv { from: 0, tag: 5 }));
+        t.record(ev(0, 3.0, EventKind::Collective { op: "barrier" }));
+        assert_eq!(t.of_rank(0).len(), 2);
+        assert_eq!(t.of_rank(1).len(), 1);
+        let window =
+            t.between(VirtualTime::from_secs(1.0), VirtualTime::from_secs(2.0));
+        assert_eq!(window.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let t = Tracer::new(10_000);
+        std::thread::scope(|s| {
+            for rank in 0..8usize {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        t.record(ev(rank, i as f64, EventKind::Iteration { iter: i }));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.timeline().len(), 800);
+        assert_eq!(t.dropped(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the runtime's virtual-time accounting and
+//! collective semantics.
+
+use proptest::prelude::*;
+use ulba_runtime::{run, MachineSpec, RunConfig, TimeKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The makespan equals the maximum per-rank compute time when ranks
+    /// never synchronize.
+    #[test]
+    fn makespan_is_max_compute(flops in proptest::collection::vec(1.0e6f64..1.0e10, 1..12)) {
+        let ranks = flops.len();
+        let flops_ref = flops.clone();
+        let report = run(RunConfig::new(ranks), move |ctx| {
+            ctx.compute(flops_ref[ctx.rank()]);
+        });
+        let expect = flops.iter().copied().fold(0.0f64, f64::max) / 1.0e9;
+        prop_assert!((report.makespan().as_secs() - expect).abs() < 1e-9 * expect);
+    }
+
+    /// After a barrier all clocks agree, and the total idle time equals the
+    /// sum of each rank's lag behind the slowest.
+    #[test]
+    fn barrier_idle_accounting(flops in proptest::collection::vec(1.0e6f64..1.0e10, 2..10)) {
+        let ranks = flops.len();
+        let flops_ref = flops.clone();
+        let report = run(RunConfig::new(ranks), move |ctx| {
+            ctx.compute(flops_ref[ctx.rank()]);
+            ctx.barrier();
+        });
+        let max = flops.iter().copied().fold(0.0f64, f64::max);
+        let expected_idle: f64 = flops.iter().map(|f| (max - f) / 1.0e9).sum();
+        let actual_idle: f64 = report.rank_metrics.iter().map(|m| m.idle).sum();
+        prop_assert!((actual_idle - expected_idle).abs() < 1e-6 * expected_idle.max(1.0));
+        let c0 = report.final_clocks[0];
+        for c in &report.final_clocks {
+            prop_assert!((c.as_secs() - c0.as_secs()).abs() < 1e-12);
+        }
+    }
+
+    /// allreduce(sum) equals the local sum of an allgather for any values.
+    #[test]
+    fn allreduce_equals_allgather_fold(values in proptest::collection::vec(-1.0e6f64..1.0e6, 2..10)) {
+        let ranks = values.len();
+        let vals = values.clone();
+        run(RunConfig::new(ranks), move |ctx| {
+            let mine = vals[ctx.rank()];
+            let s = ctx.allreduce_sum(mine);
+            let g = ctx.allgather(mine, 8);
+            let fold: f64 = g.iter().sum();
+            assert!((s - fold).abs() < 1e-9 * fold.abs().max(1.0));
+        });
+    }
+
+    /// Charged time always lands in exactly one metrics bucket.
+    #[test]
+    fn time_kinds_partition_the_clock(
+        busy in 0.0f64..10.0,
+        comm in 0.0f64..10.0,
+        lb in 0.0f64..10.0,
+    ) {
+        let report = run(RunConfig::new(1), move |ctx| {
+            ctx.elapse(TimeKind::Busy, busy);
+            ctx.elapse(TimeKind::Comm, comm);
+            ctx.elapse(TimeKind::Lb, lb);
+        });
+        let m = &report.rank_metrics[0];
+        prop_assert!((m.total() - (busy + comm + lb)).abs() < 1e-12);
+        prop_assert!((report.makespan().as_secs() - (busy + comm + lb)).abs() < 1e-12);
+    }
+
+    /// Heterogeneous speeds: compute time scales inversely with speed.
+    #[test]
+    fn speeds_scale_compute(speed_ghz in 0.5f64..8.0) {
+        let spec = MachineSpec::homogeneous(speed_ghz * 1.0e9);
+        let report = run(RunConfig::new(1).with_spec(spec), |ctx| {
+            ctx.compute(4.0e9);
+        });
+        let expect = 4.0 / speed_ghz;
+        prop_assert!((report.makespan().as_secs() - expect).abs() < 1e-9 * expect);
+    }
+}

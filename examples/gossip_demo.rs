@@ -1,0 +1,63 @@
+//! The WIR dissemination layer on its own: how fast does each gossip mode
+//! spread every PE's workload-increase rate to every other PE, and what
+//! does a dissemination step cost on the runtime?
+//!
+//! Run with: `cargo run --release --example gossip_demo`
+
+use ulba::core::prelude::*;
+use ulba::core::gossip::simulate_rounds_to_completion;
+use ulba::runtime::{run, RunConfig};
+
+fn main() {
+    println!("Round-based convergence (rounds until every DB is complete):\n");
+    println!("{:>10}  {:>6} {:>8} {:>8} {:>8}", "mode", "P=16", "P=64", "P=256", "P=1024");
+    for (name, mode) in [
+        ("ring", GossipMode::Ring),
+        ("push f=1", GossipMode::RandomPush { fanout: 1 }),
+        ("push f=2", GossipMode::RandomPush { fanout: 2 }),
+        ("hybrid f=1", GossipMode::Hybrid { fanout: 1 }),
+    ] {
+        let mut cells = Vec::new();
+        for p in [16usize, 64, 256, 1024] {
+            let rounds = simulate_rounds_to_completion(mode, p, 7, 4 * p)
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into());
+            cells.push(rounds);
+        }
+        println!(
+            "{:>10}  {:>6} {:>8} {:>8} {:>8}",
+            name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    // Live on the runtime: 32 ranks gossip their WIR once per iteration;
+    // when does rank 0 know everyone?
+    println!("\nOn the SPMD runtime (32 ranks, push fanout 2):");
+    run(RunConfig::new(32), |ctx| {
+        let rank = ctx.rank();
+        let p = ctx.size();
+        let mut db = WirDatabase::new(p);
+        db.update(WirEntry { rank, wir: rank as f64, iteration: 0 });
+        let mut complete_at = None;
+        for iter in 0..40u64 {
+            for peer in select_peers(GossipMode::RandomPush { fanout: 2 }, rank, p, iter, 3) {
+                ctx.send(peer, 1, db.snapshot(), db.snapshot_bytes());
+            }
+            ctx.barrier();
+            for (_, snap) in ctx.drain::<Vec<WirEntry>>(1) {
+                db.merge(&snap);
+            }
+            if db.is_complete() && complete_at.is_none() {
+                complete_at = Some(iter + 1);
+            }
+        }
+        if rank == 0 {
+            println!(
+                "rank 0's database complete after {} dissemination steps \
+                 (virtual time {:.1} ms)",
+                complete_at.expect("40 rounds are plenty for P=32"),
+                ctx.now().as_secs() * 1e3
+            );
+        }
+    });
+}

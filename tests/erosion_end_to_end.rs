@@ -1,0 +1,114 @@
+//! Cross-crate integration: the full erosion application (runtime + core +
+//! erosion) on small domains, checking the paper's qualitative claims and
+//! the system's conservation invariants end to end.
+
+use ulba::core::policy::LbPolicy;
+use ulba::erosion::{choose_strong_rocks, run_erosion, ErosionConfig, TriggerKind};
+
+fn tiny(ranks: usize, strong: usize) -> ErosionConfig {
+    let mut cfg = ErosionConfig::tiny(ranks, strong);
+    cfg.iterations = 80;
+    cfg
+}
+
+#[test]
+fn workload_is_conserved_across_migrations() {
+    // Total fluid weight must equal initial weight + 3 per eroded cell
+    // (1 plain cell replaced by a weight-4 refined patch), no matter how
+    // many migrations happened in between.
+    for policy in [LbPolicy::Standard, LbPolicy::ulba_fixed(0.4)] {
+        let mut cfg = tiny(6, 2);
+        cfg.policy = policy;
+        let res = run_erosion(&cfg);
+        let g = ulba::erosion::Geometry::new(
+            cfg.ranks,
+            cfg.cols_per_pe,
+            cfg.height,
+            cfg.rock_radius,
+        );
+        let initial_fluid: u64 = (0..g.width)
+            .map(|c| {
+                (0..g.height).filter(|&r| g.rock_at(c, r).is_none()).count() as u64
+            })
+            .sum();
+        assert_eq!(
+            res.final_total_weight,
+            initial_fluid + 4 * res.total_eroded,
+            "policy {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn strong_rock_count_scales_erosion() {
+    let one = run_erosion(&tiny(6, 1));
+    let three = run_erosion(&tiny(6, 3));
+    assert!(
+        three.total_eroded > one.total_eroded,
+        "more strongly erodible rocks must erode more cells"
+    );
+}
+
+#[test]
+fn ulba_does_not_lose_at_scale_64() {
+    // The paper's headline on the smallest config we can afford in a test:
+    // ULBA must not be slower than the standard method at 64 PEs / 1 rock
+    // (quarter-scale domain, shortened run).
+    let mut std_cfg = ErosionConfig::scaled(64, 1);
+    std_cfg.policy = LbPolicy::Standard;
+    std_cfg.iterations = 200;
+    let mut ulba_cfg = ErosionConfig::scaled(64, 1);
+    ulba_cfg.iterations = 200;
+    let std_res = run_erosion(&std_cfg);
+    let ulba_res = run_erosion(&ulba_cfg);
+    assert!(
+        ulba_res.makespan <= std_res.makespan * 1.01,
+        "ULBA {:.2}s vs standard {:.2}s",
+        ulba_res.makespan,
+        std_res.makespan
+    );
+}
+
+#[test]
+fn lb_calls_show_up_in_utilization_and_metrics() {
+    let mut cfg = tiny(4, 1);
+    cfg.trigger = TriggerKind::Periodic(25);
+    let res = run_erosion(&cfg);
+    assert!(!res.lb_iterations.is_empty());
+    // LB time booked on at least rank 0 (the root does the partition walk).
+    assert!(res.rank_metrics[0].lb > 0.0);
+    // Iterations following an LB exist and have sane utilization.
+    for it in &res.iterations {
+        assert!(it.mean_utilization > 0.0 && it.mean_utilization <= 1.0);
+        assert!(it.wall_time >= 0.0);
+    }
+}
+
+#[test]
+fn strong_rock_choice_respects_config() {
+    let cfg = tiny(8, 4);
+    let strong = choose_strong_rocks(&cfg);
+    assert_eq!(strong.len(), 4);
+    assert!(strong.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+}
+
+#[test]
+fn makespans_are_reproducible_across_processes() {
+    // Same seed → byte-identical makespan (stateless erosion + virtual
+    // clocks). This is the foundation of the Fig. 4/5 comparisons.
+    let a = run_erosion(&tiny(4, 1));
+    let b = run_erosion(&tiny(4, 1));
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+}
+
+#[test]
+fn never_trigger_matches_static_baseline_expectations() {
+    let mut cfg = tiny(6, 1);
+    cfg.trigger = TriggerKind::Never;
+    let never = run_erosion(&cfg);
+    assert_eq!(never.lb_calls, 0);
+    let zhai = run_erosion(&tiny(6, 1));
+    // With imbalance growth, adaptive balancing must not be slower than
+    // doing nothing on this configuration.
+    assert!(zhai.makespan <= never.makespan * 1.05);
+}

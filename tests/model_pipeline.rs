@@ -1,0 +1,85 @@
+//! Cross-crate integration: the analytic pipeline from Table II sampling
+//! through schedule optimization, mirroring the paper's §III-B / §IV-A
+//! studies at reduced scale.
+
+use ulba::model::search::{anneal_schedule, optimal_schedule, AnnealSearchConfig};
+use ulba::model::study::{fig2_point, fig3_point};
+use ulba::model::{schedule, InstanceDistribution, Method};
+
+#[test]
+fn sigma_schedule_is_close_to_optimal_across_instances() {
+    // The Fig. 2 claim end-to-end: over sampled instances, the σ⁺ schedule
+    // stays within a few percent of the exact optimum.
+    let instances = InstanceDistribution::default().sample_many(20, 77);
+    let mut worst: f64 = 0.0;
+    for inst in &instances {
+        let method = Method::Ulba { alpha: inst.alpha };
+        let dp = optimal_schedule(&inst.params, method);
+        let sigma = schedule::total_time(
+            &inst.params,
+            &schedule::sigma_plus_schedule(&inst.params, inst.alpha),
+            method,
+        );
+        let loss = (sigma - dp.time) / dp.time * 100.0;
+        assert!(loss >= -1e-9, "σ⁺ cannot beat the exact optimum");
+        worst = worst.max(loss);
+    }
+    // The paper's Fig. 2 reports σ⁺ up to 5.58% above the *SA heuristic*;
+    // against the exact optimum the spread is a little wider. Keep a
+    // generous ceiling — the claim is "close", not "optimal".
+    assert!(
+        worst < 15.0,
+        "σ⁺ should stay within ~15% of the optimum everywhere, worst {worst:.2}%"
+    );
+}
+
+#[test]
+fn annealing_matches_dp_on_sampled_instances() {
+    let instances = InstanceDistribution::default().sample_many(5, 99);
+    for (i, inst) in instances.iter().enumerate() {
+        let method = Method::Ulba { alpha: inst.alpha };
+        let dp = optimal_schedule(&inst.params, method);
+        let sa = anneal_schedule(
+            &inst.params,
+            method,
+            AnnealSearchConfig { steps: 20_000, seed: 1000 + i as u64, probe_moves: 200 },
+        );
+        assert!(
+            sa.time <= dp.time * 1.03,
+            "instance {i}: SA {:.4} too far above optimum {:.4}",
+            sa.time,
+            dp.time
+        );
+        assert!(sa.time >= dp.time * (1.0 - 1e-9));
+    }
+}
+
+#[test]
+fn fig2_point_pipeline() {
+    let inst = InstanceDistribution::default().sample_many(1, 5).remove(0);
+    let pt = fig2_point(&inst, AnnealSearchConfig { steps: 5_000, seed: 3, probe_moves: 100 });
+    assert!(pt.optimal_time <= pt.sa_time * (1.0 + 1e-9));
+    assert!(pt.optimal_time <= pt.sigma_time * (1.0 + 1e-9));
+    assert!(pt.gain_vs_optimal <= 1e-9);
+}
+
+#[test]
+fn fig3_point_best_alpha_never_loses() {
+    for seed in [1u64, 2, 3] {
+        let inst = InstanceDistribution::default().sample_many(1, seed).remove(0);
+        let pt = fig3_point(&inst.params, 41);
+        assert!(pt.gain >= -1e-9, "seed {seed}: best-α ULBA lost {:.3}%", pt.gain);
+        assert!(pt.ulba_time <= pt.standard_time * (1.0 + 1e-12));
+    }
+}
+
+#[test]
+fn menon_tau_matches_paper_formula_on_instances() {
+    // τ = sqrt(2ωC/m̂) for every valid instance.
+    for inst in InstanceDistribution::default().sample_many(50, 123) {
+        let p = inst.params;
+        let tau = ulba::model::standard::menon_tau(&p).expect("imbalanced instances");
+        let expected = (2.0 * p.omega * p.c / p.m_hat()).sqrt();
+        assert!((tau - expected).abs() < 1e-9 * expected);
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration: the SPMD runtime under realistic mixed
+//! workloads — collectives interleaved with point-to-point traffic, LB
+//! sections, many ranks, and full determinism.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use ulba::runtime::{run, EventKind, MachineSpec, RunConfig, TimeKind, Tracer};
+
+#[test]
+fn mixed_collectives_and_p2p_many_rounds() {
+    let report = run(RunConfig::new(24), |ctx| {
+        let rank = ctx.rank();
+        let size = ctx.size();
+        for round in 0..50u64 {
+            ctx.compute(1.0e7 * ((rank + 1) as f64));
+            // Ring p2p.
+            ctx.send((rank + 1) % size, 1, (rank, round), 16);
+            let (from, r) = ctx.recv::<(usize, u64)>((rank + size - 1) % size, 1);
+            assert_eq!(from, (rank + size - 1) % size);
+            assert_eq!(r, round);
+            // Interleaved collectives.
+            let total = ctx.allreduce_sum(1.0);
+            assert_eq!(total, size as f64);
+            let gathered = ctx.allgather(rank as u32, 4);
+            assert_eq!(gathered.len(), size);
+            ctx.barrier();
+            ctx.mark_iteration(round);
+        }
+    });
+    assert_eq!(report.iterations.len(), 50);
+    assert!(report.makespan().as_secs() > 0.0);
+}
+
+#[test]
+fn lb_sections_book_time_as_lb() {
+    let report = run(RunConfig::new(4), |ctx| {
+        ctx.compute(1.0e9);
+        ctx.begin_lb();
+        ctx.compute(5.0e8); // rebooked as LB work
+        let _ = ctx.allgather(ctx.rank(), 8); // collective inside LB
+        ctx.end_lb();
+        ctx.compute(1.0e9);
+    });
+    for m in &report.rank_metrics {
+        assert!((m.busy - 2.0).abs() < 1e-9, "busy time must exclude the LB section");
+        assert!(m.lb >= 0.5, "LB section compute must book as LB");
+    }
+}
+
+#[test]
+fn utilization_reflects_speed_heterogeneity() {
+    // Two ranks, one twice as fast: same FLOPs → the fast one idles half
+    // the time at the barrier.
+    let spec = MachineSpec::homogeneous(1.0e9).with_speeds(vec![1.0e9, 2.0e9]);
+    let report = run(RunConfig::new(2).with_spec(spec), |ctx| {
+        ctx.compute(2.0e9);
+        ctx.barrier();
+        ctx.mark_iteration(0);
+    });
+    let util = report.iterations[0].mean_utilization;
+    assert!((util - 0.75).abs() < 0.01, "expected ~75% mean utilization, got {util}");
+}
+
+#[test]
+fn deterministic_under_contention() {
+    let go = || {
+        let order = Mutex::new(Vec::new());
+        let report = run(RunConfig::new(16), |ctx| {
+            for round in 0..20u64 {
+                // All-to-one traffic with rank-dependent compute to shake
+                // up physical scheduling.
+                ctx.compute(1.0e6 * ((ctx.rank() * 7919 % 13) as f64 + 1.0));
+                if ctx.rank() != 0 {
+                    ctx.send(0, 9, ctx.rank() as u64 * 1000 + round, 8);
+                }
+                ctx.barrier();
+                if ctx.rank() == 0 {
+                    let msgs: Vec<(usize, u64)> = ctx.drain(9);
+                    order.lock().push(msgs.iter().map(|(f, _)| *f).collect::<Vec<_>>());
+                }
+                ctx.barrier();
+            }
+        });
+        (report.makespan().as_secs(), order.into_inner())
+    };
+    let (m1, o1) = go();
+    let (m2, o2) = go();
+    assert_eq!(m1, m2, "virtual makespan must be schedule-independent");
+    assert_eq!(o1, o2, "drain order must be deterministic");
+}
+
+#[test]
+fn elapse_kinds_accumulate_correctly() {
+    let report = run(RunConfig::new(1), |ctx| {
+        ctx.elapse(TimeKind::Busy, 1.0);
+        ctx.elapse(TimeKind::Comm, 0.5);
+        ctx.elapse(TimeKind::Lb, 0.25);
+        ctx.elapse(TimeKind::Idle, 0.25);
+    });
+    let m = &report.rank_metrics[0];
+    assert_eq!(m.busy, 1.0);
+    assert_eq!(m.comm, 0.5);
+    assert_eq!(m.lb, 0.25);
+    assert_eq!(m.idle, 0.25);
+    assert_eq!(report.makespan().as_secs(), 2.0);
+}
+
+#[test]
+fn tracer_captures_the_whole_protocol() {
+    let tracer = Arc::new(Tracer::new(100_000));
+    run(RunConfig::new(3).with_tracer(Arc::clone(&tracer)), |ctx| {
+        ctx.compute(1.0e9);
+        if ctx.rank() == 0 {
+            ctx.send(1, 4, 42u8, 1);
+        } else if ctx.rank() == 1 {
+            let _: u8 = ctx.recv(0, 4);
+        }
+        ctx.begin_lb();
+        ctx.barrier();
+        ctx.end_lb();
+        ctx.mark_iteration(0);
+    });
+    let timeline = tracer.timeline();
+    let count = |pred: &dyn Fn(&EventKind) -> bool| {
+        timeline.iter().filter(|e| pred(&e.kind)).count()
+    };
+    assert_eq!(count(&|k| matches!(k, EventKind::Compute { .. })), 3);
+    assert_eq!(count(&|k| matches!(k, EventKind::Send { to: 1, tag: 4, .. })), 1);
+    assert_eq!(count(&|k| matches!(k, EventKind::Recv { from: 0, tag: 4 })), 1);
+    assert_eq!(count(&|k| matches!(k, EventKind::Collective { op: "barrier" })), 3);
+    assert_eq!(count(&|k| matches!(k, EventKind::LbBegin)), 3);
+    assert_eq!(count(&|k| matches!(k, EventKind::LbEnd)), 3);
+    assert_eq!(count(&|k| matches!(k, EventKind::Iteration { iter: 0 })), 3);
+    // Events are virtual-time ordered.
+    assert!(timeline.windows(2).all(|w| w[0].at <= w[1].at));
+    assert_eq!(tracer.dropped(), 0);
+}
+
+#[test]
+fn large_rank_count_with_collectives() {
+    // 200 rank threads on whatever cores exist: the hub must scale.
+    let report = run(RunConfig::new(200), |ctx| {
+        let sum = ctx.allreduce_sum(ctx.rank() as f64);
+        assert_eq!(sum, (0..200).sum::<usize>() as f64);
+        ctx.compute(1.0e6);
+        ctx.barrier();
+        ctx.mark_iteration(0);
+    });
+    assert_eq!(report.rank_metrics.len(), 200);
+    assert_eq!(report.iterations.len(), 1);
+}
