@@ -27,11 +27,7 @@ fn bench_sa(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
             let cfg = AnnealSearchConfig { steps, seed: 7, probe_moves: 100 };
             b.iter(|| {
-                anneal_schedule(
-                    black_box(&inst.params),
-                    Method::Ulba { alpha: inst.alpha },
-                    cfg,
-                )
+                anneal_schedule(black_box(&inst.params), Method::Ulba { alpha: inst.alpha }, cfg)
             })
         });
     }

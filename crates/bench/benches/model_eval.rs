@@ -15,9 +15,7 @@ fn bench_total_time(c: &mut Criterion) {
         b.iter(|| total_time(black_box(&params), black_box(&menon), Method::Standard))
     });
     g.bench_function("ulba/sigma-schedule", |b| {
-        b.iter(|| {
-            total_time(black_box(&params), black_box(&sigma), Method::Ulba { alpha: 0.4 })
-        })
+        b.iter(|| total_time(black_box(&params), black_box(&sigma), Method::Ulba { alpha: 0.4 }))
     });
     g.finish();
 }

@@ -8,8 +8,7 @@ fn main() {
     let n = env_usize("ULBA_INSTANCES", if quick_mode() { 100 } else { 1000 });
     let sa_steps = env_usize("ULBA_SA_STEPS", if quick_mode() { 5_000 } else { 20_000 });
     let seeds = env_usize("ULBA_SEEDS", if quick_mode() { 1 } else { 5 }).clamp(1, 5);
-    let pes: Vec<usize> =
-        if quick_mode() { vec![32, 64] } else { PAPER_PE_COUNTS.to_vec() };
+    let pes: Vec<usize> = if quick_mode() { vec![32, 64] } else { PAPER_PE_COUNTS.to_vec() };
     let rocks: Vec<usize> = if quick_mode() { vec![1] } else { vec![1, 2, 3] };
 
     figures::table2::run(n, 2019);

@@ -4,8 +4,7 @@ use ulba_bench::output::{env_usize, quick_mode};
 
 fn main() {
     let seeds = env_usize("ULBA_SEEDS", if quick_mode() { 1 } else { 5 });
-    let pes: Vec<usize> =
-        if quick_mode() { vec![32, 64] } else { PAPER_PE_COUNTS.to_vec() };
+    let pes: Vec<usize> = if quick_mode() { vec![32, 64] } else { PAPER_PE_COUNTS.to_vec() };
     let rocks: Vec<usize> = if quick_mode() { vec![1] } else { vec![1, 2, 3] };
     ulba_bench::figures::fig4::run_4a(&pes, &rocks, &MEDIAN_SEEDS[..seeds.clamp(1, 5)]);
 }

@@ -4,7 +4,6 @@ use ulba_bench::output::{env_usize, quick_mode};
 
 fn main() {
     let seeds = env_usize("ULBA_SEEDS", if quick_mode() { 1 } else { 3 });
-    let pes: Vec<usize> =
-        if quick_mode() { vec![32, 64] } else { PAPER_PE_COUNTS.to_vec() };
+    let pes: Vec<usize> = if quick_mode() { vec![32, 64] } else { PAPER_PE_COUNTS.to_vec() };
     ulba_bench::figures::fig5::run(&pes, &MEDIAN_SEEDS[..seeds.clamp(1, 5)]);
 }

@@ -34,16 +34,9 @@ pub fn trigger_ablation(ranks: usize, seed: u64) {
             format!("{:.1}%", res.mean_utilization * 100.0),
         ]);
     }
-    print_table(
-        "trigger ablation",
-        &["configuration", "time [s]", "LB calls", "mean util"],
-        &rows,
-    );
-    let path = write_csv(
-        "ablation_trigger",
-        &["configuration", "time_s", "lb_calls", "mean_util"],
-        &rows,
-    );
+    print_table("trigger ablation", &["configuration", "time [s]", "LB calls", "mean util"], &rows);
+    let path =
+        write_csv("ablation_trigger", &["configuration", "time_s", "lb_calls", "mean_util"], &rows);
     println!("wrote {}", path.display());
 }
 
@@ -183,11 +176,8 @@ pub fn gossip_ablation(ranks: usize, seed: u64) {
         &["mode", "rounds to full DB", "time [s]", "LB calls"],
         &rows,
     );
-    let path = write_csv(
-        "ablation_gossip",
-        &["mode", "rounds_to_full_db", "time_s", "lb_calls"],
-        &rows,
-    );
+    let path =
+        write_csv("ablation_gossip", &["mode", "rounds_to_full_db", "time_s", "lb_calls"], &rows);
     println!("wrote {}", path.display());
 }
 

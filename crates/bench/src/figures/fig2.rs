@@ -41,7 +41,10 @@ pub fn run(instances: usize, sa_steps: u64, seed: u64) -> Vec<Fig2Point> {
 
     let best = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let worst = gains.iter().copied().fold(f64::INFINITY, f64::min);
-    println!("\nbest gain: {best:+.2}%   worst gain: {worst:+.2}%   average: {:+.2}%", mean(&gains));
+    println!(
+        "\nbest gain: {best:+.2}%   worst gain: {worst:+.2}%   average: {:+.2}%",
+        mean(&gains)
+    );
     println!("(paper: best +1.57%, worst −5.58%, average −0.83%)");
     println!(
         "vs exact DP optimum: average {:+.2}%, worst {:+.2}% (σ⁺ can never be positive here)",

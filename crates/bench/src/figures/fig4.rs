@@ -47,8 +47,7 @@ pub fn run_4a(pe_counts: &[usize], rock_counts: &[usize], seeds: &[u64]) -> Vec<
     let mut cells = Vec::new();
     for &strong in rock_counts {
         for &ranks in pe_counts {
-            let std_res =
-                run_erosion_median(&config_for(ranks, strong, LbPolicy::Standard), seeds);
+            let std_res = run_erosion_median(&config_for(ranks, strong, LbPolicy::Standard), seeds);
             let ulba_res =
                 run_erosion_median(&config_for(ranks, strong, LbPolicy::ulba_fixed(0.4)), seeds);
             eprintln!(

@@ -69,9 +69,9 @@ pub fn run(pe_counts: &[usize], seeds: &[u64]) -> Vec<Fig5Series> {
     let csv_rows: Vec<Vec<String>> = series
         .iter()
         .flat_map(|s| {
-            s.points.iter().map(move |(a, t)| {
-                vec![s.ranks.to_string(), format!("{a}"), format!("{t:.4}")]
-            })
+            s.points
+                .iter()
+                .map(move |(a, t)| vec![s.ranks.to_string(), format!("{a}"), format!("{t:.4}")])
         })
         .collect();
     let path = write_csv("fig5_alpha_tuning", &["pes", "alpha", "time_s"], &csv_rows);

@@ -18,14 +18,16 @@ pub fn run(count: usize, seed: u64) {
         expected: String,
         values: Vec<f64>,
     }
-    let mut rows = [Row { name: "P", expected: "{256,512,1024,2048}".into(), values: vec![] },
+    let mut rows = [
+        Row { name: "P", expected: "{256,512,1024,2048}".into(), values: vec![] },
         Row { name: "N/P", expected: "U(0.01, 0.2)".into(), values: vec![] },
         Row { name: "gamma", expected: "100".into(), values: vec![] },
         Row { name: "W0/P [GFLOP]", expected: "U(0.52, 11.65)".into(), values: vec![] },
         Row { name: "dW/(W0/P)", expected: "U(0.01, 0.3)".into(), values: vec![] },
         Row { name: "mN/dW (y)", expected: "U(0.8, 1.0)".into(), values: vec![] },
         Row { name: "alpha", expected: "U(0, 1)".into(), values: vec![] },
-        Row { name: "C/t_bal (z)", expected: "U(0.1, 3.0)".into(), values: vec![] }];
+        Row { name: "C/t_bal (z)", expected: "U(0.1, 3.0)".into(), values: vec![] },
+    ];
     for inst in &instances {
         let p = inst.params;
         rows[0].values.push(p.p as f64);

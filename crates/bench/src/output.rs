@@ -60,10 +60,12 @@ pub fn bar(fraction: f64, width: usize) -> String {
     s
 }
 
-/// Quick-mode switch shared by all harnesses: set `ULBA_QUICK=1` to shrink
-/// instance counts / seeds for smoke runs.
+/// Quick-mode switch shared by all harnesses: set `ULBA_QUICK=1` or pass
+/// `--smoke` on the command line to shrink instance counts / seeds for
+/// smoke runs (as CI does for the figure pipelines).
 pub fn quick_mode() -> bool {
     std::env::var_os("ULBA_QUICK").is_some_and(|v| v != "0")
+        || std::env::args_os().skip(1).any(|a| a == "--smoke")
 }
 
 /// Environment override for a numeric knob (e.g. `ULBA_INSTANCES=200`).

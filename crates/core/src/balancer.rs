@@ -88,8 +88,8 @@ pub fn centralized_rebalance(
         let partition = partition_by_shares(&weights, &decision.shares);
         (partition.bounds().to_vec(), decision)
     });
-    let bcast_bytes = (ctx.size() + 1) * std::mem::size_of::<usize>()
-        + ctx.size() * std::mem::size_of::<f64>();
+    let bcast_bytes =
+        (ctx.size() + 1) * std::mem::size_of::<usize>() + ctx.size() * std::mem::size_of::<f64>();
     let (bounds, decision) = ctx.broadcast(LB_ROOT, payload, bcast_bytes);
     let total_items: usize = *bounds.last().expect("non-empty bounds");
     let partition = Partition::from_bounds(bounds, total_items);
@@ -167,10 +167,7 @@ mod tests {
         }
         assert!(report.rank_metrics[0].lb > 0.0, "root partition compute booked as LB");
         // Root did the partition walk: its LB time exceeds the others'.
-        let others_max = report.rank_metrics[1..]
-            .iter()
-            .map(|m| m.lb)
-            .fold(0.0f64, f64::max);
+        let others_max = report.rank_metrics[1..].iter().map(|m| m.lb).fold(0.0f64, f64::max);
         assert!(report.rank_metrics[0].lb >= others_max);
     }
 
@@ -181,8 +178,7 @@ mod tests {
             // Rank 0: 10 items of weight 9; rank 1: 10 items of weight 1.
             let my_weights = vec![if rank == 0 { 9u64 } else { 1u64 }; 10];
             let outcome = centralized_rebalance(ctx, 0.0, rank * 10, &my_weights);
-            let global: Vec<u64> =
-                (0..20).map(|i| if i < 10 { 9u64 } else { 1u64 }).collect();
+            let global: Vec<u64> = (0..20).map(|i| if i < 10 { 9u64 } else { 1u64 }).collect();
             let loads = outcome.partition.range_weights(&global);
             // Total 100, perfect split 50/50: boundary lands within rank 0's
             // old heavy range.

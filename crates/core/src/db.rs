@@ -84,11 +84,7 @@ impl WirDatabase {
     /// Maximum staleness (in iterations) of any known entry relative to
     /// `current_iteration`; `None` if the database is empty.
     pub fn max_staleness(&self, current_iteration: u64) -> Option<u64> {
-        self.entries
-            .iter()
-            .flatten()
-            .map(|e| current_iteration.saturating_sub(e.iteration))
-            .max()
+        self.entries.iter().flatten().map(|e| current_iteration.saturating_sub(e.iteration)).max()
     }
 
     /// Wire size of a snapshot of this database, in bytes (used to charge

@@ -66,9 +66,7 @@ pub fn select_peers(
     let ring_next = (rank + 1) % size;
     match mode {
         GossipMode::Ring => vec![ring_next],
-        GossipMode::RandomPush { fanout } => {
-            random_peers(rank, size, round, seed, fanout, None)
-        }
+        GossipMode::RandomPush { fanout } => random_peers(rank, size, round, seed, fanout, None),
         GossipMode::Hybrid { fanout } => {
             random_peers(rank, size, round, seed, fanout, Some(ring_next))
         }
@@ -86,7 +84,8 @@ fn random_peers(
     assert!(fanout >= 1, "fanout must be at least 1");
     // Derive a per-(rank, round) stream so peers are independent across
     // ranks and rounds yet fully reproducible.
-    let stream = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let stream = seed
+        ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03);
     let mut rng = StdRng::seed_from_u64(stream);
     let mut peers: Vec<usize> = include.into_iter().collect();
@@ -155,9 +154,11 @@ mod tests {
 
     #[test]
     fn single_rank_no_peers() {
-        for mode in
-            [GossipMode::Ring, GossipMode::RandomPush { fanout: 2 }, GossipMode::Hybrid { fanout: 1 }]
-        {
+        for mode in [
+            GossipMode::Ring,
+            GossipMode::RandomPush { fanout: 2 },
+            GossipMode::Hybrid { fanout: 1 },
+        ] {
             assert!(select_peers(mode, 0, 1, 0, 0).is_empty());
         }
     }
@@ -181,12 +182,8 @@ mod tests {
     #[test]
     fn different_rounds_different_peers() {
         let mode = GossipMode::RandomPush { fanout: 2 };
-        let rounds: Vec<Vec<usize>> =
-            (0..8).map(|r| select_peers(mode, 0, 64, r, 1)).collect();
-        assert!(
-            rounds.windows(2).any(|w| w[0] != w[1]),
-            "peer choices should vary across rounds"
-        );
+        let rounds: Vec<Vec<usize>> = (0..8).map(|r| select_peers(mode, 0, 64, r, 1)).collect();
+        assert!(rounds.windows(2).any(|w| w[0] != w[1]), "peer choices should vary across rounds");
     }
 
     #[test]
@@ -215,8 +212,7 @@ mod tests {
         for size in [8usize, 32, 128] {
             let mode = GossipMode::RandomPush { fanout: 2 };
             let bound = mode.expected_rounds(size);
-            let rounds =
-                simulate_rounds_to_completion(mode, size, 13, bound).expect("converged");
+            let rounds = simulate_rounds_to_completion(mode, size, 13, bound).expect("converged");
             assert!(rounds <= bound, "size {size}: {rounds} > {bound}");
         }
     }
@@ -224,15 +220,9 @@ mod tests {
     #[test]
     fn hybrid_no_slower_than_ring() {
         let size = 64;
-        let ring =
-            simulate_rounds_to_completion(GossipMode::Ring, size, 3, size).unwrap();
-        let hybrid = simulate_rounds_to_completion(
-            GossipMode::Hybrid { fanout: 1 },
-            size,
-            3,
-            size,
-        )
-        .unwrap();
+        let ring = simulate_rounds_to_completion(GossipMode::Ring, size, 3, size).unwrap();
+        let hybrid =
+            simulate_rounds_to_completion(GossipMode::Hybrid { fanout: 1 }, size, 3, size).unwrap();
         assert!(hybrid <= ring);
     }
 

@@ -80,9 +80,7 @@ pub mod prelude {
     pub use crate::balancer::{centralized_rebalance, RebalanceOutcome, LB_ROOT};
     pub use crate::db::{WirDatabase, WirEntry};
     pub use crate::gossip::{select_peers, GossipMode};
-    pub use crate::outlier::{
-        detect_overloading, z_scores, DetectionStat, DEFAULT_Z_THRESHOLD,
-    };
+    pub use crate::outlier::{detect_overloading, z_scores, DetectionStat, DEFAULT_Z_THRESHOLD};
     pub use crate::partition::{partition_by_shares, partition_evenly, Partition};
     pub use crate::policy::{AlphaRule, LbPolicy, UlbaConfig};
     pub use crate::shares::{compute_shares, ShareDecision};

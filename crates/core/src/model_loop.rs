@@ -36,9 +36,7 @@ pub fn trigger_driven_schedule(
         } else {
             match method {
                 Method::Standard => standard::iteration_time(params, last_lb, t_rel),
-                Method::Ulba { alpha } => {
-                    ulba::iteration_time(params, last_lb, t_rel, alpha)
-                }
+                Method::Ulba { alpha } => ulba::iteration_time(params, last_lb, t_rel, alpha),
             }
         };
         if trigger.observe(i as u64, secs) && i + 1 < params.gamma {
@@ -115,8 +113,7 @@ mod tests {
         let mut trig_std = ZhaiTrigger::new(LbCostModel::default().with_initial(p.c));
         let std_sched = trigger_driven_schedule(&p, Method::Standard, &mut trig_std);
         let mut trig_ulba = ZhaiTrigger::new(LbCostModel::default().with_initial(p.c));
-        let ulba_sched =
-            trigger_driven_schedule(&p, Method::Ulba { alpha: 0.4 }, &mut trig_ulba);
+        let ulba_sched = trigger_driven_schedule(&p, Method::Ulba { alpha: 0.4 }, &mut trig_ulba);
         assert!(
             ulba_sched.num_calls() < std_sched.num_calls(),
             "ULBA {} calls vs standard {} calls",

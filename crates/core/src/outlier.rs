@@ -61,10 +61,7 @@ pub fn z_score(value: f64, values: &[f64]) -> f64 {
 pub fn z_scores(values: &[f64]) -> Vec<f64> {
     let m = mean(values);
     let sd = std_dev(values);
-    values
-        .iter()
-        .map(|v| if sd == 0.0 { 0.0 } else { (v - m) / sd })
-        .collect()
+    values.iter().map(|v| if sd == 0.0 { 0.0 } else { (v - m) / sd }).collect()
 }
 
 /// Robust z-scores: `0.6745·(x − median)/MAD` (the 0.6745 factor makes the
@@ -77,15 +74,8 @@ pub fn robust_z_scores(values: &[f64]) -> Vec<f64> {
     let med = median(values);
     let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
     let mad = median(&deviations);
-    let (scale, factor) = if mad > 0.0 {
-        (mad, 0.6745)
-    } else {
-        (mean(&deviations), 1.2533)
-    };
-    values
-        .iter()
-        .map(|v| if scale == 0.0 { 0.0 } else { factor * (v - med) / scale })
-        .collect()
+    let (scale, factor) = if mad > 0.0 { (mad, 0.6745) } else { (mean(&deviations), 1.2533) };
+    values.iter().map(|v| if scale == 0.0 { 0.0 } else { factor * (v - med) / scale }).collect()
 }
 
 /// Which detection statistic to use.
@@ -167,8 +157,7 @@ mod tests {
         }
         let z = detect_overloading(&wirs, DEFAULT_Z_THRESHOLD, DetectionStat::ZScore);
         assert_eq!(z.iter().filter(|&&f| f).count(), 0, "plain z-score is blind here");
-        let robust =
-            detect_overloading(&wirs, DEFAULT_Z_THRESHOLD, DetectionStat::RobustZScore);
+        let robust = detect_overloading(&wirs, DEFAULT_Z_THRESHOLD, DetectionStat::RobustZScore);
         assert_eq!(robust.iter().filter(|&&f| f).count(), 8);
     }
 

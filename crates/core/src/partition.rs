@@ -63,9 +63,7 @@ impl Partition {
 
     /// Per-range total weights under this partition.
     pub fn range_weights(&self, weights: &[u64]) -> Vec<u64> {
-        (0..self.num_ranges())
-            .map(|r| self.range(r).map(|i| weights[i]).sum())
-            .collect()
+        (0..self.num_ranges()).map(|r| self.range(r).map(|i| weights[i]).sum()).collect()
     }
 
     /// Return an equivalent partition in which every range owns at least one

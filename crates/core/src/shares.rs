@@ -56,13 +56,7 @@ pub fn compute_shares(alphas: &[f64]) -> ShareDecision {
     let bonus = surrendered / (p - n) as f64;
     let shares: Vec<f64> = clamped
         .iter()
-        .map(|&a| {
-            if a > 0.0 {
-                (1.0 - a) / p as f64
-            } else {
-                (1.0 + bonus) / p as f64
-            }
-        })
+        .map(|&a| if a > 0.0 { (1.0 - a) / p as f64 } else { (1.0 + bonus) / p as f64 })
         .collect();
     debug_assert!(
         (shares.iter().sum::<f64>() - 1.0).abs() < 1e-9,

@@ -228,7 +228,7 @@ impl PeriodicTrigger {
 
 impl LbTrigger for PeriodicTrigger {
     fn observe(&mut self, iter: u64, _iter_time: f64) -> bool {
-        (iter + 1) % self.period == 0
+        (iter + 1).is_multiple_of(self.period)
     }
 
     fn lb_completed(&mut self, _iter: u64, _measured_cost: f64) {}

@@ -88,11 +88,7 @@ fn zhai_spike_then_recovery_does_not_latch() {
         let time = if iter == 10 { 100.0 } else { 1.0 };
         assert!(!t.observe(iter, time), "isolated spike must not fire (iter {iter})");
     }
-    assert!(
-        t.degradation() < 5.0,
-        "degradation {} must not retain the spike",
-        t.degradation()
-    );
+    assert!(t.degradation() < 5.0, "degradation {} must not retain the spike", t.degradation());
 }
 
 #[test]

@@ -90,9 +90,9 @@ enum AppTrigger {
 impl AppTrigger {
     fn build(kind: TriggerKind, initial_cost: f64) -> Self {
         match kind {
-            TriggerKind::Zhai => {
-                AppTrigger::Zhai(ZhaiTrigger::new(LbCostModel::default().with_initial(initial_cost)))
-            }
+            TriggerKind::Zhai => AppTrigger::Zhai(ZhaiTrigger::new(
+                LbCostModel::default().with_initial(initial_cost),
+            )),
             TriggerKind::Menon { max_interval } => AppTrigger::Menon(MenonTrigger::new(
                 LbCostModel::default().with_initial(initial_cost),
                 max_interval,
@@ -131,9 +131,7 @@ impl AppTrigger {
 /// (the paper's plain z-score by default; median/MAD optional).
 fn scores_for(policy: &LbPolicy, wirs: &[f64]) -> Vec<f64> {
     match policy {
-        LbPolicy::Ulba(cfg) if cfg.stat == DetectionStat::RobustZScore => {
-            robust_z_scores(wirs)
-        }
+        LbPolicy::Ulba(cfg) if cfg.stat == DetectionStat::RobustZScore => robust_z_scores(wirs),
         _ => z_scores(wirs),
     }
 }
@@ -152,8 +150,7 @@ fn estimate_overhead(
     };
     let wirs = db.wirs_or(0.0);
     let zs = scores_for(policy, &wirs);
-    let alphas: Vec<f64> =
-        zs.iter().map(|&z| cfg.alpha_for(z)).filter(|&a| a > 0.0).collect();
+    let alphas: Vec<f64> = zs.iter().map(|&z| cfg.alpha_for(z)).filter(|&a| a > 0.0).collect();
     let n_hat = alphas.len();
     if n_hat == 0 || n_hat >= p {
         return 0.0;
@@ -165,8 +162,7 @@ fn estimate_overhead(
 /// Run one erosion experiment and collect its measurements.
 pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
     cfg.validate().expect("invalid erosion config");
-    let geometry =
-        Geometry::new(cfg.ranks, cfg.cols_per_pe, cfg.height, cfg.rock_radius);
+    let geometry = Geometry::new(cfg.ranks, cfg.cols_per_pe, cfg.height, cfg.rock_radius);
     let strong = choose_strong_rocks(cfg);
     let spec = MachineSpec::homogeneous(cfg.omega);
     let extras: Mutex<Option<(u64, u64)>> = Mutex::new(None);
@@ -182,10 +178,8 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
             }
         };
 
-        let mut stripe = Stripe::initial(
-            &geometry,
-            rank * cfg.cols_per_pe..(rank + 1) * cfg.cols_per_pe,
-        );
+        let mut stripe =
+            Stripe::initial(&geometry, rank * cfg.cols_per_pe..(rank + 1) * cfg.cols_per_pe);
         let mut wir = WirEstimator::new(cfg.wir_window);
         let mut db = WirDatabase::new(p);
         // The trigger lives on rank 0 (decisions are broadcast); it is
@@ -500,10 +494,7 @@ mod tests {
         cfg.policy = LbPolicy::Standard;
         cfg.initial_lb_cost_factor = 0.05;
         let res = run_erosion(&cfg);
-        assert!(
-            res.lb_calls >= 1,
-            "a strongly eroding rock must eventually trip the Zhai trigger"
-        );
+        assert!(res.lb_calls >= 1, "a strongly eroding rock must eventually trip the Zhai trigger");
     }
 
     #[test]

@@ -209,8 +209,7 @@ mod tests {
         // Pretend both neighbours are all fluid: every rock cell in this
         // column becomes exposed.
         let all_fluid = vec![Cell::FLUID; 32];
-        let rock_rows =
-            (0..32).filter(|&r| c.cell(r).is_rock()).count();
+        let rock_rows = (0..32).filter(|&r| c.cell(r).is_rock()).count();
         c.refresh_exposure(Some(&all_fluid), Some(&all_fluid));
         assert_eq!(c.exposed().len(), rock_rows);
         c.check_invariants().unwrap();

@@ -190,16 +190,12 @@ mod tests {
     fn step_erodes_only_frontier_and_conserves_cells() {
         let g = Geometry::new(1, 64, 64, 14);
         let mut cols = build_stripe(&g, 0..64);
-        let rock_before: usize = cols
-            .iter()
-            .map(|c| (0..64).filter(|&r| c.cell(r).is_rock()).count())
-            .sum();
+        let rock_before: usize =
+            cols.iter().map(|c| (0..64).filter(|&r| c.cell(r).is_rock()).count()).sum();
         let delta = erosion_step(&mut cols, 0, None, None, 42, 0, &|_| 0.5);
         assert!(delta.eroded > 0, "a p = 0.5 frontier must erode");
-        let rock_after: usize = cols
-            .iter()
-            .map(|c| (0..64).filter(|&r| c.cell(r).is_rock()).count())
-            .sum();
+        let rock_after: usize =
+            cols.iter().map(|c| (0..64).filter(|&r| c.cell(r).is_rock()).count()).sum();
         assert_eq!(rock_before - rock_after, delta.eroded);
         for c in &cols {
             c.check_invariants().unwrap();
@@ -213,10 +209,8 @@ mod tests {
         for iter in 0..600u64 {
             erosion_step(&mut cols, 0, None, None, 5, iter, &|_| 0.5);
         }
-        let rock_left: usize = cols
-            .iter()
-            .map(|c| (0..40).filter(|&r| c.cell(r).is_rock()).count())
-            .sum();
+        let rock_left: usize =
+            cols.iter().map(|c| (0..40).filter(|&r| c.cell(r).is_rock()).count()).sum();
         assert_eq!(rock_left, 0, "p = 0.5 must consume the whole disc");
         // All eroded cells are refined: weight = plain fluid + 4·eroded.
         let weight: u64 = cols.iter().map(|c| c.fluid_weight() as u64).sum();
@@ -267,11 +261,7 @@ mod tests {
 
         for (i, col) in whole.iter().enumerate() {
             let split_col = if i < 40 { &a[i] } else { &b[i - 40] };
-            assert_eq!(
-                col.cells(),
-                split_col.cells(),
-                "column {i} diverged between partitionings"
-            );
+            assert_eq!(col.cells(), split_col.cells(), "column {i} diverged between partitionings");
         }
     }
 
@@ -288,9 +278,6 @@ mod tests {
         };
         let strong_side = weight(&cols, 0..40);
         let weak_side = weight(&cols, 40..80);
-        assert!(
-            strong_side > weak_side + 100,
-            "strong {strong_side} vs weak {weak_side}"
-        );
+        assert!(strong_side > weak_side + 100, "strong {strong_side} vs weak {weak_side}");
     }
 }

@@ -44,10 +44,7 @@ impl Geometry {
 
     /// Disc centre of rock `k` (x in columns, y in rows).
     pub fn rock_center(&self, k: usize) -> (f64, f64) {
-        (
-            (k as f64 + 0.5) * self.cols_per_stripe as f64,
-            self.height as f64 / 2.0,
-        )
+        ((k as f64 + 0.5) * self.cols_per_stripe as f64, self.height as f64 / 2.0)
     }
 
     /// The rock disc covering `(col, row)` initially, if any.
@@ -83,9 +80,9 @@ impl Geometry {
             (col, row.wrapping_sub(1)),
             (col, row + 1),
         ];
-        neighbors.into_iter().any(|(c, r)| {
-            c < self.width && r < self.height && self.rock_at(c, r).is_none()
-        })
+        neighbors
+            .into_iter()
+            .any(|(c, r)| c < self.width && r < self.height && self.rock_at(c, r).is_none())
     }
 
     /// Total number of initially-rock cells in column `col` (test helper and

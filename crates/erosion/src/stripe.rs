@@ -274,8 +274,7 @@ mod tests {
         run(RunConfig::new(4), |ctx| {
             let rank = ctx.rank();
             let stripe = Stripe::initial(&g, rank * 32..(rank + 1) * 32);
-            let old: Vec<std::ops::Range<usize>> =
-                (0..4).map(|r| r * 32..(r + 1) * 32).collect();
+            let old: Vec<std::ops::Range<usize>> = (0..4).map(|r| r * 32..(r + 1) * 32).collect();
             // New partition shifts everything: [0,16), [16,64), [64,120), [120,128).
             let part = Partition::from_bounds(vec![0, 16, 64, 120, 128], 128);
             let stripe = migrate(ctx, stripe, &old, &part);
@@ -289,9 +288,8 @@ mod tests {
             final_weights.lock().push((rank, stripe.fluid_weight()));
         });
         // Total weight conserved.
-        let g_total: u64 = (0..128)
-            .map(|c| Column::initial(&geometry(4), c).fluid_weight() as u64)
-            .sum();
+        let g_total: u64 =
+            (0..128).map(|c| Column::initial(&geometry(4), c).fluid_weight() as u64).sum();
         let migrated_total: u64 = final_weights.lock().iter().map(|(_, w)| w).sum();
         assert_eq!(migrated_total, g_total);
     }

@@ -29,11 +29,7 @@ fn max_load(params: &ModelParams, lb_prev: u32, t: u32, method: Method) -> f64 {
 
 /// Per-iteration theoretical efficiency (`mean/max ∈ (0, 1]`) over a whole
 /// schedule. The first segment (balanced start) uses the standard model.
-pub fn efficiency_series(
-    params: &ModelParams,
-    schedule: &Schedule,
-    method: Method,
-) -> Vec<f64> {
+pub fn efficiency_series(params: &ModelParams, schedule: &Schedule, method: Method) -> Vec<f64> {
     let bounds = schedule.boundaries();
     let mut series = Vec::with_capacity(params.gamma as usize);
     for w in bounds.windows(2) {
@@ -87,10 +83,7 @@ mod tests {
         let sched = Schedule::new(vec![25, 50, 75], p.gamma);
         let series = efficiency_series(&p, &sched, Method::Standard);
         for &lb in &[25usize, 50, 75] {
-            assert!(
-                series[lb] > series[lb - 1],
-                "efficiency must jump back up at LB step {lb}"
-            );
+            assert!(series[lb] > series[lb - 1], "efficiency must jump back up at LB step {lb}");
         }
     }
 
@@ -115,11 +108,7 @@ mod tests {
         let none = mean_efficiency(&p, &Schedule::empty(p.gamma), Method::Standard);
         let menon = mean_efficiency(&p, &menon_schedule(&p), Method::Standard);
         assert!(menon > none, "balancing must raise average efficiency");
-        let ulba = mean_efficiency(
-            &p,
-            &sigma_plus_schedule(&p, 0.4),
-            Method::Ulba { alpha: 0.4 },
-        );
+        let ulba = mean_efficiency(&p, &sigma_plus_schedule(&p, 0.4), Method::Ulba { alpha: 0.4 });
         assert!(ulba > none);
     }
 
@@ -127,10 +116,7 @@ mod tests {
     fn series_length_matches_gamma() {
         let p = params();
         for sched in [Schedule::empty(p.gamma), Schedule::new(vec![7, 13, 62], p.gamma)] {
-            assert_eq!(
-                efficiency_series(&p, &sched, Method::Standard).len(),
-                p.gamma as usize
-            );
+            assert_eq!(efficiency_series(&p, &sched, Method::Standard).len(), p.gamma as usize);
         }
     }
 }

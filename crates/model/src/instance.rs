@@ -89,16 +89,7 @@ impl InstanceDistribution {
         let z = rng.random_range(self.lb_cost_fraction.0..=self.lb_cost_fraction.1);
         let c = w0 / p as f64 * z / self.omega;
         Instance {
-            params: ModelParams {
-                p,
-                n,
-                gamma: self.gamma,
-                w0,
-                a,
-                m,
-                omega: self.omega,
-                c,
-            },
+            params: ModelParams { p, n, gamma: self.gamma, w0, a, m, omega: self.omega, c },
             alpha,
         }
     }

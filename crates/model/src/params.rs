@@ -44,12 +44,7 @@ impl ModelParams {
         if self.gamma == 0 {
             return Err("gamma must be positive".into());
         }
-        for (name, v) in [
-            ("Wtot(0)", self.w0),
-            ("a", self.a),
-            ("m", self.m),
-            ("C", self.c),
-        ] {
+        for (name, v) in [("Wtot(0)", self.w0), ("a", self.a), ("m", self.m), ("C", self.c)] {
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("{name} must be finite and non-negative, got {v}"));
             }
@@ -106,16 +101,7 @@ impl ModelParams {
     /// A small, hand-checkable example instance used across documentation and
     /// tests: 16 PEs, 2 overloaders, γ = 100.
     pub fn example() -> Self {
-        Self {
-            p: 16,
-            n: 2,
-            gamma: 100,
-            w0: 16.0e9,
-            a: 1.0e6,
-            m: 5.0e7,
-            omega: 1.0e9,
-            c: 0.5,
-        }
+        Self { p: 16, n: 2, gamma: 100, w0: 16.0e9, a: 1.0e6, m: 5.0e7, omega: 1.0e9, c: 0.5 }
     }
 }
 

@@ -67,11 +67,7 @@ impl Schedule {
     pub fn from_flags(flags: &[bool]) -> Self {
         let gamma = flags.len() as u32;
         Self::new(
-            flags
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &f)| f.then_some(i as u32))
-                .collect(),
+            flags.iter().enumerate().filter_map(|(i, &f)| f.then_some(i as u32)).collect(),
             gamma,
         )
     }
@@ -127,9 +123,7 @@ pub fn segment_time(params: &ModelParams, start: u32, end: u32, method: Method) 
         params.c
             + match method {
                 Method::Standard => standard::interval_compute_time(params, start, len),
-                Method::Ulba { alpha } => {
-                    ulba::interval_compute_time(params, start, len, alpha)
-                }
+                Method::Ulba { alpha } => ulba::interval_compute_time(params, start, len, alpha),
             }
     }
 }
@@ -142,10 +136,7 @@ pub fn total_time(params: &ModelParams, schedule: &Schedule, method: Method) -> 
         "schedule was built for a different application length"
     );
     let bounds = schedule.boundaries();
-    bounds
-        .windows(2)
-        .map(|w| segment_time(params, w[0], w[1], method))
-        .sum()
+    bounds.windows(2).map(|w| segment_time(params, w[0], w[1], method)).sum()
 }
 
 /// Generate the σ⁺-driven adaptive schedule proposed in §III-B: starting from
@@ -281,10 +272,7 @@ mod tests {
         let p = params();
         let none = total_time(&p, &Schedule::empty(p.gamma), Method::Standard);
         let menon = total_time(&p, &menon_schedule(&p), Method::Standard);
-        assert!(
-            menon < none,
-            "Menon schedule ({menon}) should beat never balancing ({none})"
-        );
+        assert!(menon < none, "Menon schedule ({menon}) should beat never balancing ({none})");
     }
 
     #[test]

@@ -64,10 +64,7 @@ pub fn optimal_schedule(params: &ModelParams, method: Method) -> SearchResult {
 /// Exhaustive enumeration of all `2^(γ−1)` schedules. Only usable for tiny γ
 /// (`γ ≤ 20` enforced); kept as an oracle for testing the DP and the SA.
 pub fn exhaustive_schedule(params: &ModelParams, method: Method) -> SearchResult {
-    assert!(
-        params.gamma <= 20,
-        "exhaustive search is O(2^gamma); use optimal_schedule instead"
-    );
+    assert!(params.gamma <= 20, "exhaustive search is O(2^gamma); use optimal_schedule instead");
     let slots = params.gamma - 1; // iterations 1..gamma
     let mut best: Option<SearchResult> = None;
     for mask in 0u64..(1u64 << slots) {
@@ -148,13 +145,8 @@ pub fn anneal_schedule(
 ) -> SearchResult {
     let problem = ScheduleProblem::new(params, method);
     let initial = vec![false; params.gamma as usize];
-    let annealer = Annealer::calibrated(
-        &problem,
-        &initial,
-        config.steps,
-        config.probe_moves,
-        config.seed,
-    );
+    let annealer =
+        Annealer::calibrated(&problem, &initial, config.steps, config.probe_moves, config.seed);
     let outcome: AnnealOutcome<Vec<bool>> = annealer.run(&problem, initial);
     let schedule = Schedule::from_flags(&outcome.best_state);
     SearchResult { time: outcome.best_energy, schedule }
@@ -208,11 +200,8 @@ mod tests {
         for method in [Method::Standard, Method::Ulba { alpha: 0.4 }] {
             let dp = optimal_schedule(&p, method);
             let menon = total_time(&p, &crate::schedule::menon_schedule(&p), method);
-            let sigma = total_time(
-                &p,
-                &crate::schedule::sigma_plus_schedule(&p, method.alpha()),
-                method,
-            );
+            let sigma =
+                total_time(&p, &crate::schedule::sigma_plus_schedule(&p, method.alpha()), method);
             let empty = total_time(&p, &Schedule::empty(p.gamma), method);
             assert!(dp.time <= menon + 1e-9, "{method:?}: DP must beat Menon");
             assert!(dp.time <= sigma + 1e-9, "{method:?}: DP must beat σ⁺");
@@ -227,12 +216,7 @@ mod tests {
         let dp = optimal_schedule(&p, method);
         let sa = anneal_schedule(&p, method, AnnealSearchConfig::default());
         // SA is a heuristic: accept within 2 % of the exact optimum.
-        assert!(
-            sa.time <= dp.time * 1.02,
-            "SA {} too far from DP optimum {}",
-            sa.time,
-            dp.time
-        );
+        assert!(sa.time <= dp.time * 1.02, "SA {} too far from DP optimum {}", sa.time, dp.time);
         assert!(sa.time >= dp.time * (1.0 - 1e-9), "SA cannot beat the exact optimum");
     }
 

@@ -57,7 +57,8 @@ pub fn fig2_study(count: usize, seed: u64, sa_config: AnnealSearchConfig) -> Vec
         .iter()
         .enumerate()
         .map(|(i, inst)| {
-            let cfg = AnnealSearchConfig { seed: sa_config.seed.wrapping_add(i as u64), ..sa_config };
+            let cfg =
+                AnnealSearchConfig { seed: sa_config.seed.wrapping_add(i as u64), ..sa_config };
             fig2_point(inst, cfg)
         })
         .collect()
@@ -85,11 +86,7 @@ pub fn fig3_point(params: &ModelParams, alpha_samples: u32) -> Fig3Point {
     let mut best_alpha = 0.0;
     let mut ulba_time = f64::INFINITY;
     for k in 0..alpha_samples {
-        let alpha = if alpha_samples == 1 {
-            0.0
-        } else {
-            k as f64 / (alpha_samples - 1) as f64
-        };
+        let alpha = if alpha_samples == 1 { 0.0 } else { k as f64 / (alpha_samples - 1) as f64 };
         let schedule = sigma_plus_schedule(params, alpha);
         let t = total_time(params, &schedule, Method::Ulba { alpha });
         if t < ulba_time {
@@ -97,12 +94,7 @@ pub fn fig3_point(params: &ModelParams, alpha_samples: u32) -> Fig3Point {
             best_alpha = alpha;
         }
     }
-    Fig3Point {
-        standard_time,
-        ulba_time,
-        best_alpha,
-        gain: gain_percent(standard_time, ulba_time),
-    }
+    Fig3Point { standard_time, ulba_time, best_alpha, gain: gain_percent(standard_time, ulba_time) }
 }
 
 /// One bucket of the Fig. 3 sweep: a fixed overloading percentage.
@@ -141,11 +133,7 @@ pub fn fig3_percentages() -> Vec<f64> {
 /// Run the full Fig. 3 sweep: for each overloading percentage, sample
 /// `instances_per_bucket` Table II instances with `N/P` pinned and score
 /// ULBA's best-α gain over the standard method.
-pub fn fig3_study(
-    instances_per_bucket: usize,
-    alpha_samples: u32,
-    seed: u64,
-) -> Vec<Fig3Bucket> {
+pub fn fig3_study(instances_per_bucket: usize, alpha_samples: u32, seed: u64) -> Vec<Fig3Bucket> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let dist = InstanceDistribution::default();

@@ -93,11 +93,8 @@ pub fn interval_compute_time(params: &ModelParams, lb_prev: u32, len: u32, alpha
     // Σ_{t=0}^{n1-1} (k1 + a·t)
     let sum1 = n1 * k1 + params.a * n1 * (n1 - 1.0) / 2.0;
     // Σ_{t=n1}^{len-1} (k2 + (m+a)·t); the t-range sums to (n1 + len - 1)·n2/2.
-    let sum2 = if n2 > 0.0 {
-        n2 * k2 + (params.m + params.a) * (n1 + l - 1.0) * n2 / 2.0
-    } else {
-        0.0
-    };
+    let sum2 =
+        if n2 > 0.0 { n2 * k2 + (params.m + params.a) * (n1 + l - 1.0) * n2 / 2.0 } else { 0.0 };
     (sum1 + sum2) / params.omega
 }
 
@@ -125,8 +122,7 @@ pub fn sigma_plus(params: &ModelParams, lb_iter: u32, alpha: f64) -> Option<f64>
     // Quadratic aτ² + bτ + c = 0, multiplied through by ω for conditioning.
     let qa = m_hat / 2.0;
     let qb = -alpha * n * dw / ((p - n) * p);
-    let qc = -(alpha * n / (p - n) * (params.wtot(lb_iter) + sminus * dw) / p
-        + omega * params.c);
+    let qc = -(alpha * n / (p - n) * (params.wtot(lb_iter) + sminus * dw) / p + omega * params.c);
 
     let disc = qb * qb - 4.0 * qa * qc;
     debug_assert!(disc >= 0.0, "σ⁺ quadratic must have real roots (qc ≤ 0)");
@@ -148,8 +144,7 @@ mod tests {
         let p = params();
         for alpha in [0.0, 0.2, 0.4, 1.0] {
             let s = post_lb_shares(&p, 5, alpha);
-            let total =
-                s.overloading * p.n as f64 + s.non_overloading * (p.p - p.n) as f64;
+            let total = s.overloading * p.n as f64 + s.non_overloading * (p.p - p.n) as f64;
             assert!(
                 (total - p.wtot(5)).abs() < 1e-3,
                 "alpha={alpha}: shares must redistribute, not create, work"
@@ -190,8 +185,7 @@ mod tests {
         let p = params();
         for (lb, alpha) in [(0u32, 0.3f64), (17, 0.7), (99, 1.0)] {
             let paper = sigma_minus(&p, lb, alpha).unwrap();
-            let simplified =
-                (alpha * p.wtot(lb) / (p.m * (p.p - p.n) as f64)).floor() as u64;
+            let simplified = (alpha * p.wtot(lb) / (p.m * (p.p - p.n) as f64)).floor() as u64;
             assert_eq!(paper, simplified);
         }
     }
@@ -243,8 +237,7 @@ mod tests {
         for alpha in [0.0, 0.25, 0.6, 1.0] {
             for lb_prev in [0u32, 11] {
                 for len in [0u32, 1, 5, 37, 120] {
-                    let naive: f64 =
-                        (0..len).map(|t| iteration_time(&p, lb_prev, t, alpha)).sum();
+                    let naive: f64 = (0..len).map(|t| iteration_time(&p, lb_prev, t, alpha)).sum();
                     let closed = interval_compute_time(&p, lb_prev, len, alpha);
                     assert!(
                         (naive - closed).abs() <= 1e-9 * naive.max(1.0),
@@ -269,10 +262,7 @@ mod tests {
         let p = params();
         let sp = sigma_plus(&p, 0, 0.0).unwrap();
         let tau = standard::menon_tau(&p).unwrap();
-        assert!(
-            (sp - tau).abs() < 1e-9 * tau,
-            "σ⁺(α=0) = {sp} should equal Menon τ = {tau}"
-        );
+        assert!((sp - tau).abs() < 1e-9 * tau, "σ⁺(α=0) = {sp} should equal Menon τ = {tau}");
     }
 
     #[test]
@@ -302,9 +292,8 @@ mod tests {
         let tau = sigma_plus(&p, lbp, alpha).unwrap() - sm;
         let (pf, nf) = (p.p as f64, p.n as f64);
         let imbalance = p.m_hat() * tau * tau / (2.0 * p.omega);
-        let overhead = alpha * nf / (pf - nf)
-            * (p.wtot(lbp) + (sm + tau) * p.delta_w())
-            / (p.omega * pf);
+        let overhead =
+            alpha * nf / (pf - nf) * (p.wtot(lbp) + (sm + tau) * p.delta_w()) / (p.omega * pf);
         assert!(
             (imbalance - overhead - p.c).abs() < 1e-6 * imbalance.max(1.0),
             "imbalance {imbalance} != overhead {overhead} + C {}",

@@ -12,13 +12,13 @@ use ulba_model::{standard, ulba, ModelParams};
 /// scaled down so closed forms stay well-conditioned).
 fn params_strategy() -> impl Strategy<Value = ModelParams> {
     (
-        4u32..200,            // p
-        0.01f64..0.45,        // n as a fraction of p
-        10u32..150,           // gamma
-        1.0e9f64..1.0e12,     // w0
-        0.0f64..1.0e6,        // a
-        1.0e3f64..1.0e8,      // m
-        0.01f64..10.0,        // c
+        4u32..200,        // p
+        0.01f64..0.45,    // n as a fraction of p
+        10u32..150,       // gamma
+        1.0e9f64..1.0e12, // w0
+        0.0f64..1.0e6,    // a
+        1.0e3f64..1.0e8,  // m
+        0.01f64..10.0,    // c
     )
         .prop_map(|(p, n_frac, gamma, w0, a, m, c)| ModelParams {
             p,

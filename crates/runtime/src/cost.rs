@@ -97,8 +97,7 @@ impl MachineSpec {
         if p <= 1 {
             return 0.0;
         }
-        Self::rounds(p) * self.latency
-            + (p - 1) as f64 * bytes_per_rank as f64 / self.bandwidth
+        Self::rounds(p) * self.latency + (p - 1) as f64 * bytes_per_rank as f64 / self.bandwidth
     }
 
     /// Allgather of `bytes` per rank (ring/Bruck first-order term).
@@ -106,8 +105,7 @@ impl MachineSpec {
         if p <= 1 {
             return 0.0;
         }
-        Self::rounds(p) * self.latency
-            + (p - 1) as f64 * bytes_per_rank as f64 / self.bandwidth
+        Self::rounds(p) * self.latency + (p - 1) as f64 * bytes_per_rank as f64 / self.bandwidth
     }
 
     /// Allreduce of `bytes`: reduce-scatter + allgather ≈ two tree phases.

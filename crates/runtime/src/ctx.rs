@@ -112,11 +112,7 @@ impl<'a> SpmdCtx<'a> {
     /// LB cost rather than application work.
     pub fn elapse(&mut self, kind: TimeKind, secs: f64) {
         debug_assert!(secs >= 0.0 && secs.is_finite(), "invalid elapse {secs}");
-        let kind = if self.lb_depth > 0 && kind != TimeKind::Idle {
-            TimeKind::Lb
-        } else {
-            kind
-        };
+        let kind = if self.lb_depth > 0 && kind != TimeKind::Idle { TimeKind::Lb } else { kind };
         self.clock += secs;
         self.metrics.charge(kind, secs);
         if kind == TimeKind::Busy {

@@ -28,12 +28,7 @@ pub struct RunConfig {
 impl RunConfig {
     /// A run with `ranks` ranks on the default machine.
     pub fn new(ranks: usize) -> Self {
-        Self {
-            ranks,
-            spec: MachineSpec::default(),
-            stack_size: 2 * 1024 * 1024,
-            tracer: None,
-        }
+        Self { ranks, spec: MachineSpec::default(), stack_size: 2 * 1024 * 1024, tracer: None }
     }
 
     /// Override the machine model.
@@ -145,10 +140,8 @@ where
         }
     });
 
-    let (final_clocks, rank_metrics): (Vec<_>, Vec<_>) = results
-        .into_iter()
-        .map(|r| r.expect("all ranks joined successfully"))
-        .unzip();
+    let (final_clocks, rank_metrics): (Vec<_>, Vec<_>) =
+        results.into_iter().map(|r| r.expect("all ranks joined successfully")).unzip();
 
     RunReport {
         rank_metrics,

@@ -139,9 +139,7 @@ impl Hub {
             .as_ref()
             .expect("result present in drain phase")
             .downcast_ref::<Arc<Vec<T>>>()
-            .unwrap_or_else(|| {
-                panic!("collective `{op_name}`: payload type mismatch across ranks")
-            })
+            .unwrap_or_else(|| panic!("collective `{op_name}`: payload type mismatch across ranks"))
             .clone();
         let max_clock = st.result_max_clock;
         st.departed += 1;

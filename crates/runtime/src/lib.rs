@@ -135,8 +135,7 @@ mod tests {
     #[test]
     fn scatter_delivers_rank_slot() {
         run(RunConfig::new(4), |ctx| {
-            let values =
-                (ctx.rank() == 0).then(|| (0..4).map(|r| format!("slot-{r}")).collect());
+            let values = (ctx.rank() == 0).then(|| (0..4).map(|r| format!("slot-{r}")).collect());
             let mine = ctx.scatter(0, values, 16);
             assert_eq!(mine, format!("slot-{}", ctx.rank()));
         });

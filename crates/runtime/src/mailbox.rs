@@ -88,9 +88,7 @@ impl MailboxSet {
             if let Some((idx, _)) = best {
                 let env = inbox.swap_remove(idx);
                 let value = *env.payload.downcast::<T>().unwrap_or_else(|_| {
-                    panic!(
-                        "rank {me}: type mismatch receiving tag {tag} from rank {from}"
-                    )
+                    panic!("rank {me}: type mismatch receiving tag {tag} from rank {from}")
                 });
                 return Received { from: env.from, seq: env.seq, arrival: env.arrival, value };
             }
@@ -111,15 +109,11 @@ impl MailboxSet {
         while i < inbox.len() {
             if inbox[i].tag == tag {
                 let env = inbox.swap_remove(i);
-                let value = *env.payload.downcast::<T>().unwrap_or_else(|_| {
-                    panic!("rank {me}: type mismatch draining tag {tag}")
-                });
-                out.push(Received {
-                    from: env.from,
-                    seq: env.seq,
-                    arrival: env.arrival,
-                    value,
-                });
+                let value = *env
+                    .payload
+                    .downcast::<T>()
+                    .unwrap_or_else(|_| panic!("rank {me}: type mismatch draining tag {tag}"));
+                out.push(Received { from: env.from, seq: env.seq, arrival: env.arrival, value });
             } else {
                 i += 1;
             }

@@ -117,8 +117,7 @@ mod tests {
 
     #[test]
     fn sum_of_times() {
-        let total: VirtualTime =
-            [1.0, 2.0, 3.0].into_iter().map(VirtualTime::from_secs).sum();
+        let total: VirtualTime = [1.0, 2.0, 3.0].into_iter().map(VirtualTime::from_secs).sum();
         assert_eq!(total.as_secs(), 6.0);
     }
 

@@ -107,10 +107,7 @@ impl Tracer {
 
     /// Events between two virtual times (inclusive start, exclusive end).
     pub fn between(&self, start: VirtualTime, end: VirtualTime) -> Vec<Event> {
-        self.timeline()
-            .into_iter()
-            .filter(|e| e.at >= start && e.at < end)
-            .collect()
+        self.timeline().into_iter().filter(|e| e.at >= start && e.at < end).collect()
     }
 }
 
@@ -155,8 +152,7 @@ mod tests {
         t.record(ev(0, 3.0, EventKind::Collective { op: "barrier" }));
         assert_eq!(t.of_rank(0).len(), 2);
         assert_eq!(t.of_rank(1).len(), 1);
-        let window =
-            t.between(VirtualTime::from_secs(1.0), VirtualTime::from_secs(2.0));
+        let window = t.between(VirtualTime::from_secs(1.0), VirtualTime::from_secs(2.0));
         assert_eq!(window.len(), 2);
     }
 

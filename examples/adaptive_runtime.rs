@@ -28,8 +28,7 @@ fn main() {
         let mut weights: Vec<u64> = vec![100; items_per_rank];
         let mut wir = WirEstimator::new(6);
         let mut db = WirDatabase::new(p);
-        let mut trigger =
-            ZhaiTrigger::new(LbCostModel::default().with_initial(0.05));
+        let mut trigger = ZhaiTrigger::new(LbCostModel::default().with_initial(0.05));
 
         for iter in 0..iterations {
             let t0 = ctx.now();
@@ -37,7 +36,7 @@ fn main() {
             // range keep getting heavier (think: refining mesh cells).
             for (i, w) in weights.iter_mut().enumerate() {
                 let global = start + i;
-                if global / items_per_rank == hotspot && global % 7 == 0 {
+                if global / items_per_rank == hotspot && global.is_multiple_of(7) {
                     *w += 4;
                 }
             }

@@ -8,10 +8,8 @@ use ulba::core::policy::LbPolicy;
 use ulba::erosion::{run_erosion, ErosionConfig};
 
 fn main() {
-    let pes: usize =
-        std::env::var("PES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
-    let strong: usize =
-        std::env::var("STRONG").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    let pes: usize = std::env::var("PES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    let strong: usize = std::env::var("STRONG").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
 
     println!(
         "Erosion study: {pes} PEs, {strong} strongly erodible rock(s), \

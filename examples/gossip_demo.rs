@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example gossip_demo`
 
-use ulba::core::prelude::*;
 use ulba::core::gossip::simulate_rounds_to_completion;
+use ulba::core::prelude::*;
 use ulba::runtime::{run, RunConfig};
 
 fn main() {
@@ -24,10 +24,7 @@ fn main() {
                 .unwrap_or_else(|| "-".into());
             cells.push(rounds);
         }
-        println!(
-            "{:>10}  {:>6} {:>8} {:>8} {:>8}",
-            name, cells[0], cells[1], cells[2], cells[3]
-        );
+        println!("{:>10}  {:>6} {:>8} {:>8} {:>8}", name, cells[0], cells[1], cells[2], cells[3]);
     }
 
     // Live on the runtime: 32 ranks gossip their WIR once per iteration;

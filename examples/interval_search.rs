@@ -21,28 +21,17 @@ fn main() {
 
     // 1. The paper's heuristic: simulated annealing over activation vectors.
     let sa = anneal_schedule(&params, method, AnnealSearchConfig::default());
-    println!(
-        "\nsimulated annealing : {:.3} s with LB at {:?}",
-        sa.time,
-        sa.schedule.steps()
-    );
+    println!("\nsimulated annealing : {:.3} s with LB at {:?}", sa.time, sa.schedule.steps());
 
     // 2. The exact optimum (O(gamma^2) DP — possible because Eq. (4) is
     //    separable over LB intervals; the paper only approximated this).
     let dp = optimal_schedule(&params, method);
-    println!(
-        "exact DP optimum    : {:.3} s with LB at {:?}",
-        dp.time,
-        dp.schedule.steps()
-    );
+    println!("exact DP optimum    : {:.3} s with LB at {:?}", dp.time, dp.schedule.steps());
 
     // 3. The analytic sigma+ schedule.
     let sigma = schedule::sigma_plus_schedule(&params, inst.alpha);
     let sigma_time = schedule::total_time(&params, &sigma, method);
-    println!(
-        "sigma+ schedule     : {sigma_time:.3} s with LB at {:?}",
-        sigma.steps()
-    );
+    println!("sigma+ schedule     : {sigma_time:.3} s with LB at {:?}", sigma.steps());
 
     println!(
         "\nsigma+ vs SA: {:+.2}%   sigma+ vs optimum: {:+.2}%   SA vs optimum: {:+.2}%",

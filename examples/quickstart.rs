@@ -38,11 +38,7 @@ fn main() {
     // The standard method: perfectly even balancing every tau iterations.
     let std_schedule = schedule::menon_schedule(&params);
     let std_time = schedule::total_time(&params, &std_schedule, Method::Standard);
-    println!(
-        "\nStandard method: {} LB calls -> total {:.2} s",
-        std_schedule.num_calls(),
-        std_time
-    );
+    println!("\nStandard method: {} LB calls -> total {:.2} s", std_schedule.num_calls(), std_time);
 
     // ULBA: underload the overloaders by alpha at each sigma+ step.
     println!("\n  alpha   sigma-   sigma+   LB calls   total [s]     gain");

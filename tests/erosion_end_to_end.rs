@@ -20,16 +20,10 @@ fn workload_is_conserved_across_migrations() {
         let mut cfg = tiny(6, 2);
         cfg.policy = policy;
         let res = run_erosion(&cfg);
-        let g = ulba::erosion::Geometry::new(
-            cfg.ranks,
-            cfg.cols_per_pe,
-            cfg.height,
-            cfg.rock_radius,
-        );
+        let g =
+            ulba::erosion::Geometry::new(cfg.ranks, cfg.cols_per_pe, cfg.height, cfg.rock_radius);
         let initial_fluid: u64 = (0..g.width)
-            .map(|c| {
-                (0..g.height).filter(|&r| g.rock_at(c, r).is_none()).count() as u64
-            })
+            .map(|c| (0..g.height).filter(|&r| g.rock_at(c, r).is_none()).count() as u64)
             .sum();
         assert_eq!(
             res.final_total_weight,

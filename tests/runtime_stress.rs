@@ -121,9 +121,8 @@ fn tracer_captures_the_whole_protocol() {
         ctx.mark_iteration(0);
     });
     let timeline = tracer.timeline();
-    let count = |pred: &dyn Fn(&EventKind) -> bool| {
-        timeline.iter().filter(|e| pred(&e.kind)).count()
-    };
+    let count =
+        |pred: &dyn Fn(&EventKind) -> bool| timeline.iter().filter(|e| pred(&e.kind)).count();
     assert_eq!(count(&|k| matches!(k, EventKind::Compute { .. })), 3);
     assert_eq!(count(&|k| matches!(k, EventKind::Send { to: 1, tag: 4, .. })), 1);
     assert_eq!(count(&|k| matches!(k, EventKind::Recv { from: 0, tag: 4 })), 1);

@@ -1,0 +1,230 @@
+//! Offline stand-in for the [`parking_lot`](https://crates.io/crates/parking_lot)
+//! crate, backed by `std::sync` primitives.
+//!
+//! The API difference that matters to this workspace: `lock()` returns the
+//! guard directly (no poisoning `Result`), and `Condvar::wait` takes
+//! `&mut MutexGuard`. Poisoned std locks are recovered transparently —
+//! parking_lot has no poisoning, so neither does this shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, TryLockError};
+use std::time::Duration;
+
+/// A non-poisoning mutual-exclusion lock.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so Condvar::wait can move the std guard out and back.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self { inner: sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(TryLockError::Poisoned(e)) => Some(MutexGuard { inner: Some(e.into_inner()) }),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Get mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard invariant: present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard invariant: present outside Condvar::wait")
+    }
+}
+
+/// A condition variable compatible with [`Mutex`].
+#[derive(Default, Debug)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+/// Result of a timed wait: reports whether the wait timed out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically release the guard's lock and block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard invariant: present outside Condvar::wait");
+        let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+    }
+
+    /// Like [`Condvar::wait`], but give up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard invariant: present outside Condvar::wait");
+        let (g, res) = self.inner.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A non-poisoning reader-writer lock.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared read guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive write guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self { inner: sync::RwLock::new(value) }
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
+    }
+
+    /// Acquire an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let handle = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut flag = m.lock();
+            *flag = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut flag = m.lock();
+        while !*flag {
+            cv.wait(&mut flag);
+        }
+        drop(flag);
+        handle.join().unwrap();
+        assert!(*m.lock());
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        assert_eq!(l.read().len(), 3);
+        l.write().push(4);
+        assert_eq!(l.into_inner(), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! result structs stay serialization-ready, but nothing in-tree performs
+//! actual serialization (CSV output is written by hand in `ulba-bench`).
+//! This stub therefore provides the two trait names with blanket impls and
+//! re-exports no-op derive macros, which is exactly enough to compile every
+//! `#[derive(Serialize, Deserialize)]` and any `T: Serialize` bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type satisfies it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Every type satisfies it, mirroring the blanket [`crate::Deserialize`].
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The stub `serde` crate's `Serialize`/`Deserialize` traits carry blanket
+//! impls for every type, so the derives here only need to exist and accept
+//! the `#[serde(...)]` helper attribute — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
