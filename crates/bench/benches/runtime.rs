@@ -11,18 +11,18 @@ fn bench_collectives(c: &mut Criterion) {
     for ranks in [4usize, 16, 64] {
         g.bench_with_input(BenchmarkId::new("allreduce", ranks), &ranks, |b, &ranks| {
             b.iter(|| {
-                run(RunConfig::new(ranks), |ctx| {
+                run(RunConfig::new(ranks), |mut ctx| async move {
                     for _ in 0..100 {
-                        ctx.allreduce_sum(ctx.rank() as f64);
+                        ctx.allreduce_sum(ctx.rank() as f64).await;
                     }
                 })
             })
         });
         g.bench_with_input(BenchmarkId::new("barrier", ranks), &ranks, |b, &ranks| {
             b.iter(|| {
-                run(RunConfig::new(ranks), |ctx| {
+                run(RunConfig::new(ranks), |mut ctx| async move {
                     for _ in 0..100 {
-                        ctx.barrier();
+                        ctx.barrier().await;
                     }
                 })
             })
@@ -37,12 +37,12 @@ fn bench_p2p(c: &mut Criterion) {
     for ranks in [4usize, 32] {
         g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
             b.iter(|| {
-                run(RunConfig::new(ranks), |ctx| {
+                run(RunConfig::new(ranks), |mut ctx| async move {
                     let next = (ctx.rank() + 1) % ctx.size();
                     let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
                     for i in 0..100u32 {
                         ctx.send(next, 1, i, 4);
-                        let _: u32 = ctx.recv(prev, 1);
+                        let _: u32 = ctx.recv(prev, 1).await;
                     }
                 })
             })

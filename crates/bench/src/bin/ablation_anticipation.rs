@@ -1,4 +1,10 @@
 //! Ablation E-A4: anticipatory (predicted-weight) partitioning.
+//! `--backend <threaded|sequential>` selects the runtime backend;
+//! `--ranks 32,64` overrides the PE sweep.
+use ulba_bench::output::{apply_cli_backend, cli_ranks};
+
 fn main() {
-    ulba_bench::figures::ablations::anticipation_ablation(&[32, 64, 128], 11);
+    apply_cli_backend();
+    let pes = cli_ranks().unwrap_or_else(|| vec![32, 64, 128]);
+    ulba_bench::figures::ablations::anticipation_ablation(&pes, 11);
 }

@@ -1,4 +1,10 @@
 //! Ablation E-A1: LB trigger choice.
+//! `--backend <threaded|sequential>` selects the runtime backend;
+//! `--ranks <p>` overrides the PE count.
+use ulba_bench::output::{apply_cli_backend, cli_ranks};
+
 fn main() {
-    ulba_bench::figures::ablations::trigger_ablation(64, 11);
+    apply_cli_backend();
+    let pes = cli_ranks().map_or(64, |pes| pes[0]);
+    ulba_bench::figures::ablations::trigger_ablation(pes, 11);
 }

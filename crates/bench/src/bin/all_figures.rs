@@ -1,9 +1,11 @@
 //! Regenerates every paper artifact and all ablations in one run.
-//! `ULBA_QUICK=1` for a fast smoke pass.
+//! `ULBA_QUICK=1` for a fast smoke pass; `--backend <threaded|sequential>`
+//! selects the runtime backend for every erosion study.
 use ulba_bench::figures::{self, MEDIAN_SEEDS, PAPER_PE_COUNTS};
-use ulba_bench::output::{env_usize, quick_mode};
+use ulba_bench::output::{apply_cli_backend, env_usize, quick_mode};
 
 fn main() {
+    apply_cli_backend();
     let started = std::time::Instant::now();
     let n = env_usize("ULBA_INSTANCES", if quick_mode() { 100 } else { 1000 });
     let sa_steps = env_usize("ULBA_SA_STEPS", if quick_mode() { 5_000 } else { 20_000 });
@@ -21,6 +23,7 @@ fn main() {
     figures::ablations::alpha_rule_ablation(&[32, 64], 11);
     figures::ablations::gossip_ablation(64, 11);
     figures::ablations::anticipation_ablation(&[32, 64, 128], 11);
+    figures::weak_scaling::run(&[64, 256], None, quick_mode());
 
     eprintln!("\nall figures regenerated in {:.1?}", started.elapsed());
 }

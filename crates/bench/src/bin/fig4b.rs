@@ -1,4 +1,10 @@
 //! Regenerates Fig. 4b (average PE utilization timeline, 32 PEs, 1 rock).
+//! `--backend <threaded|sequential>` selects the runtime backend;
+//! `--ranks <p>` overrides the PE count.
+use ulba_bench::output::{apply_cli_backend, cli_ranks};
+
 fn main() {
-    ulba_bench::figures::fig4::run_4b(32, 11);
+    apply_cli_backend();
+    let pes = cli_ranks().map_or(32, |pes| pes[0]);
+    ulba_bench::figures::fig4::run_4b(pes, 11);
 }

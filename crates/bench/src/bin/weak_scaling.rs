@@ -1,0 +1,14 @@
+//! Weak-scaling study: erosion at P ∈ {64, 256, 1024, 4096}, standard vs
+//! ULBA, on a selectable runtime backend.
+//!
+//! `--backend sequential` is the intended way to reach the large-P end of
+//! the sweep (no OS threads); `--ranks 4096` narrows the sweep to one PE
+//! count; `--smoke` (or `ULBA_QUICK=1`) shrinks the domain for CI.
+use ulba_bench::figures::weak_scaling::{self, WEAK_SCALING_PE_COUNTS};
+use ulba_bench::output::{cli_backend, cli_ranks, quick_mode};
+
+fn main() {
+    let backend = cli_backend();
+    let pes = cli_ranks().unwrap_or_else(|| WEAK_SCALING_PE_COUNTS.to_vec());
+    weak_scaling::run(&pes, backend, quick_mode());
+}

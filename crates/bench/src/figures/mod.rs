@@ -9,6 +9,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod table2;
+pub mod weak_scaling;
 
 /// Standard seeds used for median-of-N erosion runs (the paper uses the
 /// median of five runs).

@@ -1,0 +1,141 @@
+//! Weak-scaling study of the erosion application across execution backends.
+//!
+//! The paper evaluates `P ≤ 256`; the related work it builds on (two-level
+//! dynamic LB, optimal-LB-criteria studies) shows that trigger and gossip
+//! behaviour changes qualitatively in the thousands-of-PEs regime. This
+//! study keeps the per-PE domain fixed (weak scaling) and sweeps
+//! `P ∈ {64, 256, 1024, 4096}` under the standard method and ULBA, on a
+//! selectable runtime backend — the sequential backend is what makes
+//! `P = 4096` (and beyond) tractable, since it needs no OS threads.
+//!
+//! Reported per (P, policy): virtual makespan, LB calls, mean PE
+//! utilization, and the *real* wall-clock cost of simulating the run (the
+//! backend comparison axis). CSV: `results/weak_scaling_<backend>.csv` —
+//! one file per backend, so runs on different backends can be compared
+//! side by side instead of overwriting each other.
+
+use crate::output::{print_table, write_csv};
+use std::time::Instant;
+use ulba_core::gossip::GossipMode;
+use ulba_core::policy::LbPolicy;
+use ulba_erosion::{run_erosion, ErosionConfig};
+use ulba_runtime::Backend;
+
+/// Default PE sweep of the study.
+pub const WEAK_SCALING_PE_COUNTS: [usize; 4] = [64, 256, 1024, 4096];
+
+/// One (P, policy) measurement.
+#[derive(Debug, Clone)]
+pub struct WeakScalingRow {
+    /// PE count.
+    pub ranks: usize,
+    /// Policy label (`standard` / `ulba`).
+    pub policy: &'static str,
+    /// Virtual makespan in seconds.
+    pub makespan: f64,
+    /// Number of LB steps performed.
+    pub lb_calls: usize,
+    /// Mean PE utilization over the run.
+    pub mean_utilization: f64,
+    /// Real wall-clock seconds spent simulating the run.
+    pub sim_secs: f64,
+}
+
+/// Weak-scaling configuration: a fixed per-PE domain small enough that
+/// `P = 4096` stays tractable, with the overloaded-PE *fraction* held
+/// roughly constant across `P` (one strongly erodible rock per 64 PEs) so
+/// the ULBA regime is comparable along the sweep.
+fn config_for(ranks: usize, policy: LbPolicy, smoke: bool) -> ErosionConfig {
+    let mut cfg = ErosionConfig::tiny(ranks, (ranks / 64).max(1).min(ranks));
+    cfg.policy = policy;
+    if smoke {
+        // CI-sized: a few minutes even at P = 4096 on the sequential
+        // backend. Ring gossip keeps snapshot sizes O(iterations) instead
+        // of O(P) over a short run.
+        cfg.cols_per_pe = 32;
+        cfg.height = 32;
+        cfg.rock_radius = 7;
+        cfg.iterations = 10;
+        cfg.gossip = GossipMode::Ring;
+    } else {
+        cfg.iterations = 100;
+    }
+    cfg
+}
+
+/// Run the weak-scaling sweep on `backend` (`None` = runtime default).
+pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<WeakScalingRow> {
+    let backend_label = backend.map_or_else(|| "default".to_string(), |b| b.to_string());
+    println!(
+        "Weak scaling — erosion app, fixed per-PE domain, standard vs ULBA \
+         (α = 0.4), backend: {backend_label}{}",
+        if smoke { ", smoke" } else { "" }
+    );
+    let mut rows = Vec::new();
+    for &ranks in pe_counts {
+        for (label, policy) in
+            [("standard", LbPolicy::Standard), ("ulba", LbPolicy::ulba_fixed(0.4))]
+        {
+            let mut cfg = config_for(ranks, policy, smoke);
+            cfg.backend = backend;
+            let started = Instant::now();
+            let res = run_erosion(&cfg);
+            let sim_secs = started.elapsed().as_secs_f64();
+            eprintln!(
+                "  [P={ranks} {label}] makespan {:.2}s, {} LB calls, \
+                 util {:.1}%, simulated in {sim_secs:.2}s",
+                res.makespan,
+                res.lb_calls,
+                res.mean_utilization * 100.0
+            );
+            rows.push(WeakScalingRow {
+                ranks,
+                policy: label,
+                makespan: res.makespan,
+                lb_calls: res.lb_calls,
+                mean_utilization: res.mean_utilization,
+                sim_secs,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.ranks.to_string(),
+                r.policy.to_string(),
+                format!("{:.2}", r.makespan),
+                r.lb_calls.to_string(),
+                format!("{:.1}%", r.mean_utilization * 100.0),
+                format!("{:.2}", r.sim_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Weak scaling — backend {backend_label}"),
+        &["PEs", "policy", "time [s]", "LB calls", "utilization", "sim wall [s]"],
+        &table,
+    );
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.ranks.to_string(),
+                r.policy.to_string(),
+                backend_label.clone(),
+                format!("{}", r.makespan),
+                r.lb_calls.to_string(),
+                format!("{}", r.mean_utilization),
+                format!("{}", r.sim_secs),
+            ]
+        })
+        .collect();
+    let path = write_csv(
+        &format!("weak_scaling_{backend_label}"),
+        &["pes", "policy", "backend", "makespan_s", "lb_calls", "mean_utilization", "sim_wall_s"],
+        &csv_rows,
+    );
+    println!("wrote {}", path.display());
+    rows
+}

@@ -73,6 +73,63 @@ pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Value of a `--flag <value>` / `--flag=<value>` command-line option.
+fn cli_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return args.next();
+        }
+        if let Some(value) = arg.strip_prefix(&format!("{flag}=")) {
+            return Some(value.to_string());
+        }
+    }
+    None
+}
+
+/// Runtime backend selected on the command line (`--backend threaded` or
+/// `--backend sequential`), if any. Unknown values abort with a usage
+/// message rather than silently running on the wrong backend.
+pub fn cli_backend() -> Option<ulba_runtime::Backend> {
+    let raw = cli_value("--backend")?;
+    match raw.parse() {
+        Ok(backend) => Some(backend),
+        Err(()) => {
+            eprintln!("unknown --backend `{raw}` (expected `threaded` or `sequential`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Apply `--backend` for the whole process by exporting `ULBA_BACKEND`, so
+/// every `RunConfig::new` in the figure pipeline picks it up without
+/// threading a parameter through each study function.
+pub fn apply_cli_backend() {
+    if let Some(backend) = cli_backend() {
+        std::env::set_var("ULBA_BACKEND", backend.to_string());
+    }
+}
+
+/// PE counts selected on the command line (`--ranks 64,256,1024`), if any;
+/// overrides a study's default sweep.
+pub fn cli_ranks() -> Option<Vec<usize>> {
+    let raw = cli_value("--ranks")?;
+    let pes: Vec<usize> = raw
+        .split(',')
+        .map(|part| {
+            part.trim().parse().unwrap_or_else(|_| {
+                eprintln!("invalid --ranks entry `{part}` (expected comma-separated integers)");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if pes.is_empty() {
+        eprintln!("--ranks needs at least one PE count");
+        std::process::exit(2);
+    }
+    Some(pes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,8 +51,8 @@ pub const PARTITION_FLOP_PER_ITEM: f64 = 12.0;
 /// the data migration (ideally inside the same `begin_lb` section) and then
 /// reports `ctx.now() − outcome.started_at` to its trigger as the measured
 /// cost.
-pub fn centralized_rebalance(
-    ctx: &mut SpmdCtx<'_>,
+pub async fn centralized_rebalance(
+    ctx: &mut SpmdCtx,
     my_alpha: f64,
     my_range_start: usize,
     my_weights: &[u64],
@@ -61,12 +61,12 @@ pub fn centralized_rebalance(
     ctx.begin_lb();
 
     // (1) SendAlphaToMainPE / RecvAlphas.
-    let alphas = ctx.gather(LB_ROOT, my_alpha, std::mem::size_of::<f64>());
+    let alphas = ctx.gather(LB_ROOT, my_alpha, std::mem::size_of::<f64>()).await;
 
     // (2) Gather the weighted domain description.
     let chunk = (my_range_start, my_weights.to_vec());
     let bytes = std::mem::size_of::<usize>() + my_weights.len() * 8;
-    let chunks = ctx.gather(LB_ROOT, chunk, bytes);
+    let chunks = ctx.gather(LB_ROOT, chunk, bytes).await;
 
     // (3) Root: shares → weighted partition; broadcast.
     let payload: Option<(Vec<usize>, ShareDecision)> = chunks.map(|chunks| {
@@ -90,7 +90,7 @@ pub fn centralized_rebalance(
     });
     let bcast_bytes =
         (ctx.size() + 1) * std::mem::size_of::<usize>() + ctx.size() * std::mem::size_of::<f64>();
-    let (bounds, decision) = ctx.broadcast(LB_ROOT, payload, bcast_bytes);
+    let (bounds, decision) = ctx.broadcast(LB_ROOT, payload, bcast_bytes).await;
     let total_items: usize = *bounds.last().expect("non-empty bounds");
     let partition = Partition::from_bounds(bounds, total_items);
 
@@ -108,15 +108,19 @@ mod tests {
     /// each of the 4 ranks starts with 25 uniform-weight items.
     fn rebalance_with_alphas(alphas: [f64; 4]) -> (Partition, ShareDecision) {
         let out: Mutex<Option<(Partition, ShareDecision)>> = Mutex::new(None);
-        run(RunConfig::new(4), |ctx| {
-            let rank = ctx.rank();
-            let my_weights = vec![1u64; 25];
-            let outcome = centralized_rebalance(ctx, alphas[rank], rank * 25, &my_weights);
-            // Every rank must agree on the partition.
-            if rank == 0 {
-                *out.lock() = Some((outcome.partition.clone(), outcome.decision.clone()));
-            } else {
-                assert_eq!(outcome.partition.bounds().len(), 5);
+        run(RunConfig::new(4), |mut ctx| {
+            let out = &out;
+            async move {
+                let rank = ctx.rank();
+                let my_weights = vec![1u64; 25];
+                let outcome =
+                    centralized_rebalance(&mut ctx, alphas[rank], rank * 25, &my_weights).await;
+                // Every rank must agree on the partition.
+                if rank == 0 {
+                    *out.lock() = Some((outcome.partition.clone(), outcome.decision.clone()));
+                } else {
+                    assert_eq!(outcome.partition.bounds().len(), 5);
+                }
             }
         });
         let guard = out.lock();
@@ -152,14 +156,17 @@ mod tests {
     #[test]
     fn lb_time_is_booked_and_measurable() {
         let lb_times: Mutex<Vec<f64>> = Mutex::new(Vec::new());
-        let report = run(RunConfig::new(4), |ctx| {
-            let rank = ctx.rank();
-            // Imbalanced weights: rank 0 owns heavy items.
-            let w = if rank == 0 { 10u64 } else { 1u64 };
-            let my_weights = vec![w; 25];
-            let outcome = centralized_rebalance(ctx, 0.0, rank * 25, &my_weights);
-            let cost = ctx.now() - outcome.started_at;
-            lb_times.lock().push(cost);
+        let report = run(RunConfig::new(4), |mut ctx| {
+            let lb_times = &lb_times;
+            async move {
+                let rank = ctx.rank();
+                // Imbalanced weights: rank 0 owns heavy items.
+                let w = if rank == 0 { 10u64 } else { 1u64 };
+                let my_weights = vec![w; 25];
+                let outcome = centralized_rebalance(&mut ctx, 0.0, rank * 25, &my_weights).await;
+                let cost = ctx.now() - outcome.started_at;
+                lb_times.lock().push(cost);
+            }
         });
         // Every rank saw a positive LB duration and the metrics show Lb time.
         for &c in lb_times.lock().iter() {
@@ -173,11 +180,11 @@ mod tests {
 
     #[test]
     fn weighted_domain_rebalanced_by_weight() {
-        run(RunConfig::new(2), |ctx| {
+        run(RunConfig::new(2), |mut ctx| async move {
             let rank = ctx.rank();
             // Rank 0: 10 items of weight 9; rank 1: 10 items of weight 1.
             let my_weights = vec![if rank == 0 { 9u64 } else { 1u64 }; 10];
-            let outcome = centralized_rebalance(ctx, 0.0, rank * 10, &my_weights);
+            let outcome = centralized_rebalance(&mut ctx, 0.0, rank * 10, &my_weights).await;
             let global: Vec<u64> = (0..20).map(|i| if i < 10 { 9u64 } else { 1u64 }).collect();
             let loads = outcome.partition.range_weights(&global);
             // Total 100, perfect split 50/50: boundary lands within rank 0's

@@ -167,203 +167,222 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
     let spec = MachineSpec::homogeneous(cfg.omega);
     let extras: Mutex<Option<(u64, u64)>> = Mutex::new(None);
 
-    let report = run(RunConfig::new(cfg.ranks).with_spec(spec), |ctx| {
-        let rank = ctx.rank();
-        let p = ctx.size();
-        let prob_of = |id: u16| {
-            if strong.binary_search(&id).is_ok() {
-                cfg.p_strong
-            } else {
-                cfg.p_weak
-            }
-        };
+    let mut run_cfg = RunConfig::new(cfg.ranks).with_spec(spec);
+    if let Some(backend) = cfg.backend {
+        run_cfg = run_cfg.with_backend(backend);
+    }
+    if let Some(stack_size) = cfg.stack_size {
+        run_cfg = run_cfg.with_stack_size(stack_size);
+    }
 
-        let mut stripe =
-            Stripe::initial(&geometry, rank * cfg.cols_per_pe..(rank + 1) * cfg.cols_per_pe);
-        let mut wir = WirEstimator::new(cfg.wir_window);
-        let mut db = WirDatabase::new(p);
-        // The trigger lives on rank 0 (decisions are broadcast); it is
-        // created at iteration 0 once the first wall time seeds the LB-cost
-        // estimate.
-        let mut trigger: Option<AppTrigger> = None;
-        let mut eroded_total = 0u64;
-        // Per-column weight history for anticipatory partitioning: weights
-        // by global column index as of `history_iter`.
-        let mut history: HashMap<usize, u64> = HashMap::new();
-        let mut history_iter = 0u64;
-        if cfg.anticipatory_partitioning {
-            for (i, w) in stripe.col_weights().into_iter().enumerate() {
-                history.insert(stripe.first_col() + i, w);
-            }
-        }
-
-        for iter in 0..cfg.iterations {
-            let iter_start = ctx.now();
-
-            // (1) Halo exchange + boundary exposure refresh.
-            let halos = exchange_halos(ctx, &stripe);
-            stripe.refresh_boundary_exposure(halos.left.as_deref(), halos.right.as_deref());
-
-            // (2) Fluid compute + frontier scan (charged).
-            let workload_flops = stripe.fluid_weight() as f64 * cfg.flop_per_cell;
-            ctx.compute(workload_flops + stripe.exposed_count() as f64 * FRONTIER_FLOP);
-
-            // (3) Erosion dynamics (actual state mutation).
-            let first_col = stripe.first_col();
-            let delta = erosion_step(
-                stripe.cols_mut(),
-                first_col,
-                halos.left.as_deref(),
-                halos.right.as_deref(),
-                cfg.seed,
-                iter,
-                &prob_of,
-            );
-            eroded_total += delta.eroded as u64;
-
-            // (4) WIR measurement + one gossip dissemination step.
-            wir.push(iter, workload_flops);
-            if let Some(rate) = wir.rate() {
-                db.update(WirEntry { rank, wir: rate, iteration: iter });
-            }
-            let snapshot_bytes = db.snapshot_bytes();
-            for peer in select_peers(cfg.gossip, rank, p, iter, cfg.seed) {
-                ctx.send(peer, GOSSIP_TAG, db.snapshot(), snapshot_bytes);
-            }
-
-            // (5) Iteration-end sync: share (elapsed, workload).
-            let elapsed = ctx.now() - iter_start;
-            let stats = ctx.allgather((elapsed, workload_flops), 16);
-            let t_iter = stats.iter().map(|s| s.0).fold(0.0f64, f64::max);
-            let wtot_flops: f64 = stats.iter().map(|s| s.1).sum();
-
-            // Drain gossip *after* the rendezvous: every message posted this
-            // iteration is now guaranteed present, so the merged set (and
-            // with it every LB decision) is deterministic.
-            for (_, snap) in ctx.drain::<Vec<WirEntry>>(GOSSIP_TAG) {
-                db.merge(&snap);
-            }
-
-            if rank == 0 && std::env::var_os("ULBA_DEBUG2").is_some() && iter % 8 == 0 {
-                let (argmax, &(tmax, w)) = stats
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
-                    .expect("non-empty");
-                eprintln!("[it {iter}] max rank {argmax} t={tmax:.4} w={w:.3e}");
-            }
-
-            // (6) LB decision on rank 0, broadcast to everyone.
-            let my_flag = if rank == 0 {
-                let trig = trigger.get_or_insert_with(|| {
-                    AppTrigger::build(cfg.trigger, cfg.initial_lb_cost_factor * t_iter)
-                });
-                trig.set_overhead_estimate(estimate_overhead(
-                    &cfg.policy,
-                    &db,
-                    wtot_flops,
-                    cfg.omega,
-                    p,
-                ));
-                Some(trig.observe(iter, t_iter))
-            } else {
-                None
-            };
-            let lb_now = ctx.broadcast(0, my_flag, 1);
-            ctx.mark_iteration(iter);
-
-            // (7) The LB step (Algorithms 1–2 + migration).
-            if lb_now && iter + 1 < cfg.iterations {
-                ctx.begin_lb();
-                let lb_started = ctx.now();
-                // Fixed per-call overhead restoring the paper's LB-cost
-                // regime (see ErosionConfig::lb_fixed_cost_factor), plus the
-                // root's cell-granularity repartitioning walk (grows with P).
-                ctx.elapse_lb(cfg.lb_fixed_cost_secs());
-                if rank == 0 {
-                    ctx.elapse_lb(cfg.lb_root_walk_secs());
+    let report = run(run_cfg, |mut ctx| {
+        let geometry = &geometry;
+        let strong = &strong;
+        let extras = &extras;
+        async move {
+            let rank = ctx.rank();
+            let p = ctx.size();
+            let prob_of = |id: u16| {
+                if strong.binary_search(&id).is_ok() {
+                    cfg.p_strong
+                } else {
+                    cfg.p_weak
                 }
-                let wirs = db.wirs_or(0.0);
-                let my_z = scores_for(&cfg.policy, &wirs)[rank];
-                let my_alpha = cfg.policy.alpha_for(my_z);
-                // Optionally extrapolate column weights over the expected
-                // next interval (persistence: ≈ the last interval length).
-                let current_weights = stripe.col_weights();
-                let split_weights = if cfg.anticipatory_partitioning {
-                    let elapsed_iters = (iter - history_iter).max(1) as f64;
-                    let rates: Vec<f64> = current_weights
+            };
+
+            let mut stripe =
+                Stripe::initial(geometry, rank * cfg.cols_per_pe..(rank + 1) * cfg.cols_per_pe);
+            let mut wir = WirEstimator::new(cfg.wir_window);
+            let mut db = WirDatabase::new(p);
+            // The trigger lives on rank 0 (decisions are broadcast); it is
+            // created at iteration 0 once the first wall time seeds the LB-cost
+            // estimate.
+            let mut trigger: Option<AppTrigger> = None;
+            let mut eroded_total = 0u64;
+            // Per-column weight history for anticipatory partitioning: weights
+            // by global column index as of `history_iter`.
+            let mut history: HashMap<usize, u64> = HashMap::new();
+            let mut history_iter = 0u64;
+            if cfg.anticipatory_partitioning {
+                for (i, w) in stripe.col_weights().into_iter().enumerate() {
+                    history.insert(stripe.first_col() + i, w);
+                }
+            }
+
+            for iter in 0..cfg.iterations {
+                let iter_start = ctx.now();
+
+                // (1) Halo exchange + boundary exposure refresh.
+                let halos = exchange_halos(&mut ctx, &stripe).await;
+                stripe.refresh_boundary_exposure(halos.left.as_deref(), halos.right.as_deref());
+
+                // (2) Fluid compute + frontier scan (charged).
+                let workload_flops = stripe.fluid_weight() as f64 * cfg.flop_per_cell;
+                ctx.compute(workload_flops + stripe.exposed_count() as f64 * FRONTIER_FLOP);
+
+                // (3) Erosion dynamics (actual state mutation).
+                let first_col = stripe.first_col();
+                let delta = erosion_step(
+                    stripe.cols_mut(),
+                    first_col,
+                    halos.left.as_deref(),
+                    halos.right.as_deref(),
+                    cfg.seed,
+                    iter,
+                    &prob_of,
+                );
+                eroded_total += delta.eroded as u64;
+
+                // (4) WIR measurement + one gossip dissemination step.
+                wir.push(iter, workload_flops);
+                if let Some(rate) = wir.rate() {
+                    db.update(WirEntry { rank, wir: rate, iteration: iter });
+                }
+                let snapshot_bytes = db.snapshot_bytes();
+                for peer in select_peers(cfg.gossip, rank, p, iter, cfg.seed) {
+                    ctx.send(peer, GOSSIP_TAG, db.snapshot(), snapshot_bytes);
+                }
+
+                // (5) Iteration-end sync: share (elapsed, workload).
+                let elapsed = ctx.now() - iter_start;
+                let stats = ctx.allgather((elapsed, workload_flops), 16).await;
+                let t_iter = stats.iter().map(|s| s.0).fold(0.0f64, f64::max);
+                let wtot_flops: f64 = stats.iter().map(|s| s.1).sum();
+
+                // Drain gossip *after* the rendezvous: every message posted this
+                // iteration is now guaranteed present, so the merged set (and
+                // with it every LB decision) is deterministic.
+                for (_, snap) in ctx.drain::<Vec<WirEntry>>(GOSSIP_TAG) {
+                    db.merge(&snap);
+                }
+
+                if rank == 0 && std::env::var_os("ULBA_DEBUG2").is_some() && iter % 8 == 0 {
+                    let (argmax, &(tmax, w)) = stats
                         .iter()
                         .enumerate()
-                        .map(|(i, &w)| {
-                            let global = stripe.first_col() + i;
-                            match history.get(&global) {
-                                Some(&old) => (w as f64 - old as f64) / elapsed_iters,
-                                None => 0.0, // migrated in: no history yet
-                            }
-                        })
-                        .collect();
-                    predicted_weights(&current_weights, &rates, elapsed_iters)
+                        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+                        .expect("non-empty");
+                    eprintln!("[it {iter}] max rank {argmax} t={tmax:.4} w={w:.3e}");
+                }
+
+                // (6) LB decision on rank 0, broadcast to everyone.
+                let my_flag = if rank == 0 {
+                    let trig = trigger.get_or_insert_with(|| {
+                        AppTrigger::build(cfg.trigger, cfg.initial_lb_cost_factor * t_iter)
+                    });
+                    trig.set_overhead_estimate(estimate_overhead(
+                        &cfg.policy,
+                        &db,
+                        wtot_flops,
+                        cfg.omega,
+                        p,
+                    ));
+                    Some(trig.observe(iter, t_iter))
                 } else {
-                    current_weights.clone()
+                    None
                 };
-                let outcome =
-                    centralized_rebalance(ctx, my_alpha, stripe.first_col(), &split_weights);
-                let partition = outcome.partition.clone().ensure_nonempty();
-                let old: Vec<std::ops::Range<usize>> = ctx
-                    .allgather((stripe.first_col(), stripe.len()), 16)
-                    .into_iter()
-                    .map(|(s, l)| s..s + l)
-                    .collect();
-                stripe = migrate(ctx, stripe, &old, &partition);
-                let measured = ctx.now() - lb_started;
-                let cost = ctx.allreduce_max(measured);
-                ctx.end_lb();
-                if rank == 0 {
-                    if std::env::var_os("ULBA_DEBUG3").is_some() {
-                        let wirs = db.wirs_or(0.0);
-                        let zs = z_scores(&wirs);
-                        let mut top: Vec<(usize, f64, f64)> = wirs
-                            .iter()
-                            .zip(&zs)
-                            .enumerate()
-                            .map(|(r, (&w, &z))| (r, w, z))
-                            .collect();
-                        top.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
-                        eprintln!("[wir] iter={iter} top: {:?}", &top[..4.min(top.len())]);
+                let lb_now = ctx.broadcast(0, my_flag, 1).await;
+                ctx.mark_iteration(iter);
+
+                // (7) The LB step (Algorithms 1–2 + migration).
+                if lb_now && iter + 1 < cfg.iterations {
+                    ctx.begin_lb();
+                    let lb_started = ctx.now();
+                    // Fixed per-call overhead restoring the paper's LB-cost
+                    // regime (see ErosionConfig::lb_fixed_cost_factor), plus the
+                    // root's cell-granularity repartitioning walk (grows with P).
+                    ctx.elapse_lb(cfg.lb_fixed_cost_secs());
+                    if rank == 0 {
+                        ctx.elapse_lb(cfg.lb_root_walk_secs());
                     }
-                    if std::env::var_os("ULBA_DEBUG").is_some() {
-                        eprintln!(
+                    let wirs = db.wirs_or(0.0);
+                    let my_z = scores_for(&cfg.policy, &wirs)[rank];
+                    let my_alpha = cfg.policy.alpha_for(my_z);
+                    // Optionally extrapolate column weights over the expected
+                    // next interval (persistence: ≈ the last interval length).
+                    let current_weights = stripe.col_weights();
+                    let split_weights = if cfg.anticipatory_partitioning {
+                        let elapsed_iters = (iter - history_iter).max(1) as f64;
+                        let rates: Vec<f64> = current_weights
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &w)| {
+                                let global = stripe.first_col() + i;
+                                match history.get(&global) {
+                                    Some(&old) => (w as f64 - old as f64) / elapsed_iters,
+                                    None => 0.0, // migrated in: no history yet
+                                }
+                            })
+                            .collect();
+                        predicted_weights(&current_weights, &rates, elapsed_iters)
+                    } else {
+                        current_weights.clone()
+                    };
+                    let outcome = centralized_rebalance(
+                        &mut ctx,
+                        my_alpha,
+                        stripe.first_col(),
+                        &split_weights,
+                    )
+                    .await;
+                    let partition = outcome.partition.clone().ensure_nonempty();
+                    let old: Vec<std::ops::Range<usize>> = ctx
+                        .allgather((stripe.first_col(), stripe.len()), 16)
+                        .await
+                        .into_iter()
+                        .map(|(s, l)| s..s + l)
+                        .collect();
+                    stripe = migrate(&mut ctx, stripe, &old, &partition).await;
+                    let measured = ctx.now() - lb_started;
+                    let cost = ctx.allreduce_max(measured).await;
+                    ctx.end_lb();
+                    if rank == 0 {
+                        if std::env::var_os("ULBA_DEBUG3").is_some() {
+                            let wirs = db.wirs_or(0.0);
+                            let zs = z_scores(&wirs);
+                            let mut top: Vec<(usize, f64, f64)> = wirs
+                                .iter()
+                                .zip(&zs)
+                                .enumerate()
+                                .map(|(r, (&w, &z))| (r, w, z))
+                                .collect();
+                            top.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+                            eprintln!("[wir] iter={iter} top: {:?}", &top[..4.min(top.len())]);
+                        }
+                        if std::env::var_os("ULBA_DEBUG").is_some() {
+                            eprintln!(
                             "[lb] iter={iter} measured_cost={cost:.4}s alpha_root={my_alpha:.2} \
                              N={} fallback={} bounds[28..32]={:?}",
                             outcome.decision.overloading,
                             outcome.decision.majority_fallback,
                             &partition.bounds()[28.min(p)..]
                         );
+                        }
+                        if let Some(trig) = trigger.as_mut() {
+                            trig.lb_completed(iter, cost);
+                        }
+                        ctx.mark_lb_event(iter);
                     }
-                    if let Some(trig) = trigger.as_mut() {
-                        trig.lb_completed(iter, cost);
+                    // Workload jumped with the migration: restart the local WIR
+                    // estimate (the persistence principle applies *between* LB
+                    // steps).
+                    wir.reset();
+                    if cfg.anticipatory_partitioning {
+                        history.clear();
+                        for (i, w) in stripe.col_weights().into_iter().enumerate() {
+                            history.insert(stripe.first_col() + i, w);
+                        }
+                        history_iter = iter;
                     }
-                    ctx.mark_lb_event(iter);
-                }
-                // Workload jumped with the migration: restart the local WIR
-                // estimate (the persistence principle applies *between* LB
-                // steps).
-                wir.reset();
-                if cfg.anticipatory_partitioning {
-                    history.clear();
-                    for (i, w) in stripe.col_weights().into_iter().enumerate() {
-                        history.insert(stripe.first_col() + i, w);
-                    }
-                    history_iter = iter;
                 }
             }
-        }
 
-        // Final accounting.
-        let final_weight = ctx.allreduce_sum(stripe.fluid_weight() as f64) as u64;
-        let eroded = ctx.allreduce_sum(eroded_total as f64) as u64;
-        if rank == 0 {
-            *extras.lock() = Some((final_weight, eroded));
+            // Final accounting.
+            let final_weight = ctx.allreduce_sum(stripe.fluid_weight() as f64).await as u64;
+            let eroded = ctx.allreduce_sum(eroded_total as f64).await as u64;
+            if rank == 0 {
+                *extras.lock() = Some((final_weight, eroded));
+            }
         }
     });
 

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use ulba_core::gossip::GossipMode;
 use ulba_core::policy::LbPolicy;
+use ulba_runtime::Backend;
 
 /// Which adaptive trigger drives LB activation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,6 +87,15 @@ pub struct ErosionConfig {
     pub lb_root_walk_flop_per_cell: f64,
     /// PE speed ω in FLOP/s (Table II: 1 GFLOPS).
     pub omega: f64,
+    /// Execution backend of the SPMD runtime. `None` defers to the runtime
+    /// default (the `ULBA_BACKEND` environment variable, falling back to
+    /// threaded). Use [`Backend::Sequential`] for large `P` — it needs no
+    /// OS threads and scales to tens of thousands of ranks.
+    pub backend: Option<Backend>,
+    /// Per-rank thread stack size in bytes for the threaded backend
+    /// (`None` = runtime default of 2 MiB). Ignored by the sequential
+    /// backend.
+    pub stack_size: Option<usize>,
 }
 
 impl ErosionConfig {
@@ -115,6 +125,8 @@ impl ErosionConfig {
             lb_fixed_cost_factor: 2.0,
             lb_root_walk_flop_per_cell: 6.0,
             omega: 1.0e9,
+            backend: None,
+            stack_size: None,
         }
     }
 
@@ -187,6 +199,9 @@ impl ErosionConfig {
         if self.iterations == 0 {
             return Err("need at least one iteration".into());
         }
+        if self.stack_size == Some(0) {
+            return Err("stack_size must be positive when set".into());
+        }
         Ok(())
     }
 
@@ -258,5 +273,17 @@ mod tests {
         let mut c = ErosionConfig::tiny(4, 1);
         c.iterations = 0;
         assert!(c.validate().is_err());
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.stack_size = Some(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn backend_and_stack_size_overrides_validate() {
+        let mut c = ErosionConfig::tiny(4, 1);
+        assert_eq!(c.backend, None, "presets defer to the runtime default");
+        c.backend = Some(Backend::Sequential);
+        c.stack_size = Some(256 * 1024);
+        c.validate().unwrap();
     }
 }

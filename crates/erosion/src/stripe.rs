@@ -131,7 +131,7 @@ pub struct Halos {
 
 /// Perform the per-iteration halo exchange: boundary column cells flow to
 /// both neighbours. Every rank must own at least one column.
-pub fn exchange_halos(ctx: &mut SpmdCtx<'_>, stripe: &Stripe) -> Halos {
+pub async fn exchange_halos(ctx: &mut SpmdCtx, stripe: &Stripe) -> Halos {
     assert!(!stripe.is_empty(), "halo exchange requires a non-empty stripe");
     let rank = ctx.rank();
     let size = ctx.size();
@@ -144,8 +144,9 @@ pub fn exchange_halos(ctx: &mut SpmdCtx<'_>, stripe: &Stripe) -> Halos {
         let cells = stripe.cols()[stripe.len() - 1].cells().to_vec();
         ctx.send(rank + 1, HALO_TAG, cells, height_bytes);
     }
-    let left = (rank > 0).then(|| ctx.recv::<Vec<Cell>>(rank - 1, HALO_TAG));
-    let right = (rank + 1 < size).then(|| ctx.recv::<Vec<Cell>>(rank + 1, HALO_TAG));
+    let left = if rank > 0 { Some(ctx.recv::<Vec<Cell>>(rank - 1, HALO_TAG).await) } else { None };
+    let right =
+        if rank + 1 < size { Some(ctx.recv::<Vec<Cell>>(rank + 1, HALO_TAG).await) } else { None };
     Halos { left, right }
 }
 
@@ -158,8 +159,8 @@ fn intersect(a: &std::ops::Range<usize>, b: &std::ops::Range<usize>) -> std::ops
 /// ranges (e.g. from an `allgather`); ranges must be contiguous and
 /// rank-ordered in both partitions. Wrap in `begin_lb`/`end_lb` so the
 /// transfer time books as LB cost.
-pub fn migrate(
-    ctx: &mut SpmdCtx<'_>,
+pub async fn migrate(
+    ctx: &mut SpmdCtx,
     stripe: Stripe,
     old_ranges: &[std::ops::Range<usize>],
     partition: &Partition,
@@ -196,7 +197,7 @@ pub fn migrate(
             continue;
         }
         if !intersect(src_old, &my_new).is_empty() {
-            let (start, seg) = ctx.recv::<(usize, Vec<Column>)>(src, MIGRATE_TAG);
+            let (start, seg) = ctx.recv::<(usize, Vec<Column>)>(src, MIGRATE_TAG).await;
             segments.push((start, seg));
         }
     }
@@ -250,19 +251,22 @@ mod tests {
     #[test]
     fn halo_exchange_delivers_boundary_cells() {
         let g = geometry(4);
-        run(RunConfig::new(4), |ctx| {
-            let rank = ctx.rank();
-            let stripe = Stripe::initial(&g, rank * 32..(rank + 1) * 32);
-            let halos = exchange_halos(ctx, &stripe);
-            assert_eq!(halos.left.is_some(), rank > 0);
-            assert_eq!(halos.right.is_some(), rank < 3);
-            if let Some(left) = &halos.left {
-                let expect = Column::initial(&g, rank * 32 - 1);
-                assert_eq!(left.as_slice(), expect.cells());
-            }
-            if let Some(right) = &halos.right {
-                let expect = Column::initial(&g, (rank + 1) * 32);
-                assert_eq!(right.as_slice(), expect.cells());
+        run(RunConfig::new(4), |mut ctx| {
+            let g = &g;
+            async move {
+                let rank = ctx.rank();
+                let stripe = Stripe::initial(g, rank * 32..(rank + 1) * 32);
+                let halos = exchange_halos(&mut ctx, &stripe).await;
+                assert_eq!(halos.left.is_some(), rank > 0);
+                assert_eq!(halos.right.is_some(), rank < 3);
+                if let Some(left) = &halos.left {
+                    let expect = Column::initial(g, rank * 32 - 1);
+                    assert_eq!(left.as_slice(), expect.cells());
+                }
+                if let Some(right) = &halos.right {
+                    let expect = Column::initial(g, (rank + 1) * 32);
+                    assert_eq!(right.as_slice(), expect.cells());
+                }
             }
         });
     }
@@ -271,21 +275,26 @@ mod tests {
     fn migration_moves_columns_correctly() {
         let g = geometry(4);
         let final_weights: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
-        run(RunConfig::new(4), |ctx| {
-            let rank = ctx.rank();
-            let stripe = Stripe::initial(&g, rank * 32..(rank + 1) * 32);
-            let old: Vec<std::ops::Range<usize>> = (0..4).map(|r| r * 32..(r + 1) * 32).collect();
-            // New partition shifts everything: [0,16), [16,64), [64,120), [120,128).
-            let part = Partition::from_bounds(vec![0, 16, 64, 120, 128], 128);
-            let stripe = migrate(ctx, stripe, &old, &part);
-            assert_eq!(stripe.range(), part.range(rank));
-            stripe.check_invariants().unwrap();
-            // Every column must equal a freshly built one (content preserved).
-            for (i, col) in stripe.cols().iter().enumerate() {
-                let expect = Column::initial(&g, stripe.first_col() + i);
-                assert_eq!(col, &expect, "column {} corrupted", stripe.first_col() + i);
+        run(RunConfig::new(4), |mut ctx| {
+            let g = &g;
+            let final_weights = &final_weights;
+            async move {
+                let rank = ctx.rank();
+                let stripe = Stripe::initial(g, rank * 32..(rank + 1) * 32);
+                let old: Vec<std::ops::Range<usize>> =
+                    (0..4).map(|r| r * 32..(r + 1) * 32).collect();
+                // New partition shifts everything: [0,16), [16,64), [64,120), [120,128).
+                let part = Partition::from_bounds(vec![0, 16, 64, 120, 128], 128);
+                let stripe = migrate(&mut ctx, stripe, &old, &part).await;
+                assert_eq!(stripe.range(), part.range(rank));
+                stripe.check_invariants().unwrap();
+                // Every column must equal a freshly built one (content preserved).
+                for (i, col) in stripe.cols().iter().enumerate() {
+                    let expect = Column::initial(g, stripe.first_col() + i);
+                    assert_eq!(col, &expect, "column {} corrupted", stripe.first_col() + i);
+                }
+                final_weights.lock().push((rank, stripe.fluid_weight()));
             }
-            final_weights.lock().push((rank, stripe.fluid_weight()));
         });
         // Total weight conserved.
         let g_total: u64 =
@@ -297,14 +306,17 @@ mod tests {
     #[test]
     fn identity_migration_is_noop() {
         let g = geometry(2);
-        run(RunConfig::new(2), |ctx| {
-            let rank = ctx.rank();
-            let stripe = Stripe::initial(&g, rank * 32..(rank + 1) * 32);
-            let before = stripe.clone();
-            let old = vec![0..32, 32..64];
-            let part = Partition::from_bounds(vec![0, 32, 64], 64);
-            let after = migrate(ctx, stripe, &old, &part);
-            assert_eq!(after, before);
+        run(RunConfig::new(2), |mut ctx| {
+            let g = &g;
+            async move {
+                let rank = ctx.rank();
+                let stripe = Stripe::initial(g, rank * 32..(rank + 1) * 32);
+                let before = stripe.clone();
+                let old = vec![0..32, 32..64];
+                let part = Partition::from_bounds(vec![0, 32, 64], 64);
+                let after = migrate(&mut ctx, stripe, &old, &part).await;
+                assert_eq!(after, before);
+            }
         });
     }
 

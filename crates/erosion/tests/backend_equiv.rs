@@ -1,0 +1,107 @@
+//! Cross-backend equivalence: the threaded (one OS thread per rank,
+//! blocking rendezvous) and sequential (single-threaded lockstep scheduler)
+//! backends must produce **bit-identical** experiment results — same
+//! virtual makespan, same per-rank clocks and time accounting, same
+//! iteration statistics, same LB activations — for the full erosion
+//! application, not just micro-programs.
+
+use proptest::prelude::*;
+use ulba_core::gossip::GossipMode;
+use ulba_core::policy::LbPolicy;
+use ulba_erosion::{run_erosion, ErosionConfig, ExperimentResult};
+use ulba_runtime::Backend;
+
+/// Run `cfg` on the given backend.
+fn on_backend(cfg: &ErosionConfig, backend: Backend) -> ExperimentResult {
+    let mut cfg = cfg.clone();
+    cfg.backend = Some(backend);
+    run_erosion(&cfg)
+}
+
+/// Assert that two experiment results are identical down to the last f64
+/// bit.
+fn assert_bit_identical(threaded: &ExperimentResult, sequential: &ExperimentResult) {
+    assert_eq!(
+        threaded.makespan.to_bits(),
+        sequential.makespan.to_bits(),
+        "makespan diverged: {} vs {}",
+        threaded.makespan,
+        sequential.makespan
+    );
+    assert_eq!(threaded.lb_calls, sequential.lb_calls);
+    assert_eq!(threaded.lb_iterations, sequential.lb_iterations);
+    assert_eq!(threaded.mean_utilization.to_bits(), sequential.mean_utilization.to_bits());
+    assert_eq!(threaded.final_total_weight, sequential.final_total_weight);
+    assert_eq!(threaded.total_eroded, sequential.total_eroded);
+    assert_eq!(threaded.rank_metrics.len(), sequential.rank_metrics.len());
+    for (rank, (a, b)) in threaded.rank_metrics.iter().zip(&sequential.rank_metrics).enumerate() {
+        assert_eq!(a.busy.to_bits(), b.busy.to_bits(), "rank {rank} busy");
+        assert_eq!(a.comm.to_bits(), b.comm.to_bits(), "rank {rank} comm");
+        assert_eq!(a.lb.to_bits(), b.lb.to_bits(), "rank {rank} lb");
+        assert_eq!(a.idle.to_bits(), b.idle.to_bits(), "rank {rank} idle");
+    }
+    assert_eq!(threaded.iterations.len(), sequential.iterations.len());
+    for (a, b) in threaded.iterations.iter().zip(&sequential.iterations) {
+        assert_eq!(a.iter, b.iter);
+        assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits(), "iteration {}", a.iter);
+        assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
+        assert_eq!(a.lb_active, b.lb_active);
+    }
+}
+
+/// The acceptance-criterion case: a 128-rank erosion run with LB activity
+/// must be bit-identical across backends.
+#[test]
+fn equivalent_at_128_ranks() {
+    let mut cfg = ErosionConfig::tiny(128, 4);
+    cfg.iterations = 30;
+    let threaded = on_backend(&cfg, Backend::Threaded);
+    let sequential = on_backend(&cfg, Backend::Sequential);
+    assert_bit_identical(&threaded, &sequential);
+}
+
+/// Both LB policies and a standard trigger config at a mid-size P.
+#[test]
+fn equivalent_under_both_policies() {
+    for policy in [LbPolicy::Standard, LbPolicy::ulba_fixed(0.4)] {
+        let mut cfg = ErosionConfig::tiny(8, 2);
+        cfg.policy = policy;
+        cfg.iterations = 80;
+        cfg.initial_lb_cost_factor = 0.05; // make the trigger actually fire
+        let threaded = on_backend(&cfg, Backend::Threaded);
+        let sequential = on_backend(&cfg, Backend::Sequential);
+        assert!(threaded.lb_calls > 0 || matches!(cfg.policy, LbPolicy::Standard));
+        assert_bit_identical(&threaded, &sequential);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized erosion configurations: ranks, rocks, iterations, seed,
+    /// policy, gossip mode, anticipation — always bit-identical.
+    #[test]
+    fn equivalent_on_random_configs(
+        ranks in 2usize..12,
+        strong in 1usize..3,
+        iterations in 20u64..50,
+        seed in any::<u64>(),
+        ulba in any::<bool>(),
+        anticipate in any::<bool>(),
+        ring_gossip in any::<bool>(),
+    ) {
+        let mut cfg = ErosionConfig::tiny(ranks, strong.min(ranks));
+        cfg.iterations = iterations;
+        cfg.seed = seed;
+        cfg.policy = if ulba { LbPolicy::ulba_fixed(0.4) } else { LbPolicy::Standard };
+        cfg.anticipatory_partitioning = anticipate;
+        cfg.gossip = if ring_gossip {
+            GossipMode::Ring
+        } else {
+            GossipMode::RandomPush { fanout: 2 }
+        };
+        let threaded = on_backend(&cfg, Backend::Threaded);
+        let sequential = on_backend(&cfg, Backend::Sequential);
+        assert_bit_identical(&threaded, &sequential);
+    }
+}

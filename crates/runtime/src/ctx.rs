@@ -4,62 +4,66 @@
 //! `broadcast`, `gather`, `scatter`, `allgather`, `allreduce`. Every
 //! operation advances the rank's virtual clock according to the
 //! [`MachineSpec`] cost model and books the time into [`RankMetrics`].
+//!
+//! Operations that synchronize with other ranks are `async`: on the
+//! threaded backend they block the rank's OS thread and resolve in a single
+//! poll, while on the sequential backend they suspend the rank's future so
+//! the cooperative scheduler can interleave thousands of ranks on one
+//! thread. The collective *semantics* — rank-indexed value vectors, clock
+//! maximum, cost model charges, combine folds — are pure functions over the
+//! deposited values and are shared by both backends, so a program's
+//! [`RankMetrics`] and clocks are bit-identical regardless of backend.
 
 use crate::cost::MachineSpec;
-use crate::hub::Hub;
-use crate::mailbox::{MailboxSet, Tag};
-use crate::metrics::{Collector, RankMetrics, TimeKind};
+use crate::engine::RunShared;
+use crate::hub::ExchangeRound;
+use crate::mailbox::{Received, Tag};
+use crate::metrics::{RankMetrics, TimeKind};
 use crate::time::VirtualTime;
 use crate::trace::{Event, EventKind, Tracer};
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 
 /// Execution context handed to each rank closure by [`crate::engine::run`].
-pub struct SpmdCtx<'a> {
+pub struct SpmdCtx {
     rank: usize,
     size: usize,
-    hub: &'a Hub,
-    mail: &'a MailboxSet,
-    spec: &'a MachineSpec,
-    collector: &'a Collector,
+    shared: Arc<RunShared>,
+    /// Waiting strategy: `true` blocks the OS thread (threaded backend),
+    /// `false` suspends the rank future (sequential backend).
+    blocking: bool,
     clock: VirtualTime,
     metrics: RankMetrics,
     send_seq: u64,
-    mark_clock: VirtualTime,
     mark_busy: f64,
     mark_lb: f64,
     lb_depth: u32,
     tracer: Option<Arc<Tracer>>,
 }
 
-impl<'a> SpmdCtx<'a> {
+impl SpmdCtx {
     pub(crate) fn new(
         rank: usize,
         size: usize,
-        hub: &'a Hub,
-        mail: &'a MailboxSet,
-        spec: &'a MachineSpec,
-        collector: &'a Collector,
+        shared: Arc<RunShared>,
+        blocking: bool,
+        tracer: Option<Arc<Tracer>>,
     ) -> Self {
         Self {
             rank,
             size,
-            hub,
-            mail,
-            spec,
-            collector,
+            shared,
+            blocking,
             clock: VirtualTime::ZERO,
             metrics: RankMetrics::default(),
             send_seq: 0,
-            mark_clock: VirtualTime::ZERO,
             mark_busy: 0.0,
             mark_lb: 0.0,
             lb_depth: 0,
-            tracer: None,
+            tracer,
         }
-    }
-
-    pub(crate) fn set_tracer(&mut self, tracer: Arc<Tracer>) {
-        self.tracer = Some(tracer);
     }
 
     #[inline]
@@ -86,7 +90,7 @@ impl<'a> SpmdCtx<'a> {
 
     /// The machine cost model of the run.
     pub fn machine(&self) -> &MachineSpec {
-        self.spec
+        &self.shared.spec
     }
 
     /// Accumulated time accounting of this rank.
@@ -99,7 +103,7 @@ impl<'a> SpmdCtx<'a> {
     /// Perform `flops` of useful computation (advances the clock by
     /// `flops/ω` and books it as busy time).
     pub fn compute(&mut self, flops: f64) {
-        let secs = self.spec.compute_secs(self.rank, flops);
+        let secs = self.shared.spec.compute_secs(self.rank, flops);
         self.elapse(TimeKind::Busy, secs);
         self.trace(EventKind::Compute { flops });
     }
@@ -151,19 +155,31 @@ impl<'a> SpmdCtx<'a> {
     pub fn send<T: Send + 'static>(&mut self, to: usize, tag: Tag, value: T, bytes: usize) {
         assert!(to < self.size, "send to out-of-range rank {to}");
         assert_ne!(to, self.rank, "self-sends are not modelled; keep data local");
-        let arrival = self.clock + self.spec.p2p_secs(bytes);
+        let arrival = self.clock + self.shared.spec.p2p_secs(bytes);
         let seq = self.send_seq;
         self.send_seq += 1;
-        self.mail.post(self.rank, to, tag, seq, arrival, value);
+        self.shared.mail.post(self.rank, to, tag, seq, arrival, value);
+        self.shared.note_progress();
         // Injection overhead on the sender.
-        self.elapse(TimeKind::Comm, self.spec.latency);
+        self.elapse(TimeKind::Comm, self.shared.spec.latency);
         self.trace(EventKind::Send { to, tag, bytes });
     }
 
-    /// Blocking receive from `from` under `tag`; waits (idle time) until the
+    /// Receive from `from` under `tag`; waits (idle time) until the
     /// message's virtual arrival.
-    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: Tag) -> T {
-        let got = self.mail.recv::<T>(self.rank, from, tag);
+    pub async fn recv<T: Send + 'static>(&mut self, from: usize, tag: Tag) -> T {
+        let got = if self.blocking {
+            self.shared.mail.recv::<T>(self.rank, from, tag)
+        } else {
+            RecvFuture::<T> {
+                shared: Arc::clone(&self.shared),
+                me: self.rank,
+                from,
+                tag,
+                _payload: std::marker::PhantomData,
+            }
+            .await
+        };
         let wait = got.arrival.since(self.clock);
         self.metrics.charge(TimeKind::Idle, wait);
         self.clock = self.clock.max(got.arrival);
@@ -177,7 +193,7 @@ impl<'a> SpmdCtx<'a> {
     /// BSP discipline: call after a [`SpmdCtx::barrier`] so the drained set
     /// (everything posted in the previous superstep) is deterministic.
     pub fn drain<T: Send + 'static>(&mut self, tag: Tag) -> Vec<(usize, T)> {
-        let msgs = self.mail.drain::<T>(self.rank, tag);
+        let msgs = self.shared.mail.drain::<T>(self.rank, tag);
         let mut out = Vec::with_capacity(msgs.len());
         for m in msgs {
             let wait = m.arrival.since(self.clock);
@@ -189,6 +205,25 @@ impl<'a> SpmdCtx<'a> {
     }
 
     // --- collectives --------------------------------------------------------
+
+    /// One hub rendezvous under the backend's waiting strategy.
+    async fn exchange<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        op: &'static str,
+        value: T,
+    ) -> ExchangeRound<T> {
+        if self.blocking {
+            self.shared.hub.exchange(self.rank, op, value, self.clock)
+        } else {
+            ExchangeFuture {
+                shared: Arc::clone(&self.shared),
+                rank: self.rank,
+                op,
+                pending: Some((value, self.clock)),
+            }
+            .await
+        }
+    }
 
     fn sync(&mut self, max_clock: VirtualTime, cost: f64, kind: TimeKind) {
         let wait = max_clock.since(self.clock);
@@ -204,33 +239,33 @@ impl<'a> SpmdCtx<'a> {
 
     /// Synchronize all ranks (clocks meet at the global maximum plus the
     /// barrier cost).
-    pub fn barrier(&mut self) {
-        let round = self.hub.exchange(self.rank, "barrier", (), self.clock);
-        let cost = self.spec.barrier_secs(self.size);
+    pub async fn barrier(&mut self) {
+        let round = self.exchange("barrier", ()).await;
+        let cost = self.shared.spec.barrier_secs(self.size);
         self.sync_traced("barrier", round.max_clock, cost);
     }
 
     /// Gather `value` from every rank onto every rank (rank-indexed).
-    pub fn allgather<T: Clone + Send + Sync + 'static>(
+    pub async fn allgather<T: Clone + Send + Sync + 'static>(
         &mut self,
         value: T,
         bytes_per_rank: usize,
     ) -> Vec<T> {
-        let round = self.hub.exchange(self.rank, "allgather", value, self.clock);
-        let cost = self.spec.allgather_secs(self.size, bytes_per_rank);
+        let round = self.exchange("allgather", value).await;
+        let cost = self.shared.spec.allgather_secs(self.size, bytes_per_rank);
         self.sync_traced("allgather", round.max_clock, cost);
         round.values.to_vec()
     }
 
     /// Reduce `value` across ranks with `combine` (must be associative and
     /// commutative); every rank receives the result.
-    pub fn allreduce<T, F>(&mut self, value: T, bytes: usize, combine: F) -> T
+    pub async fn allreduce<T, F>(&mut self, value: T, bytes: usize, combine: F) -> T
     where
         T: Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T,
     {
-        let round = self.hub.exchange(self.rank, "allreduce", value, self.clock);
-        let cost = self.spec.allreduce_secs(self.size, bytes);
+        let round = self.exchange("allreduce", value).await;
+        let cost = self.shared.spec.allreduce_secs(self.size, bytes);
         self.sync_traced("allreduce", round.max_clock, cost);
         let mut acc = round.values[0].clone();
         for v in &round.values[1..] {
@@ -240,47 +275,47 @@ impl<'a> SpmdCtx<'a> {
     }
 
     /// Sum an `f64` across all ranks.
-    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
-        self.allreduce(value, std::mem::size_of::<f64>(), |a, b| a + b)
+    pub async fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allreduce(value, std::mem::size_of::<f64>(), |a, b| a + b).await
     }
 
     /// Maximum of an `f64` across all ranks.
-    pub fn allreduce_max(&mut self, value: f64) -> f64 {
-        self.allreduce(value, std::mem::size_of::<f64>(), |a, b| a.max(*b))
+    pub async fn allreduce_max(&mut self, value: f64) -> f64 {
+        self.allreduce(value, std::mem::size_of::<f64>(), |a, b| a.max(*b)).await
     }
 
     /// Broadcast from `root`: the root passes `Some(value)`, everyone else
     /// `None`; all ranks receive the root's value.
-    pub fn broadcast<T: Clone + Send + Sync + 'static>(
+    pub async fn broadcast<T: Clone + Send + Sync + 'static>(
         &mut self,
         root: usize,
         value: Option<T>,
         bytes: usize,
     ) -> T {
         debug_assert_eq!(value.is_some(), self.rank == root, "only the root supplies a value");
-        let round = self.hub.exchange(self.rank, "broadcast", value, self.clock);
-        let cost = self.spec.broadcast_secs(self.size, bytes);
+        let round = self.exchange("broadcast", value).await;
+        let cost = self.shared.spec.broadcast_secs(self.size, bytes);
         self.sync_traced("broadcast", round.max_clock, cost);
         round.values[root].clone().expect("root deposited a value")
     }
 
     /// Gather `value` from every rank to `root` (returns `Some(values)` on
     /// the root, `None` elsewhere).
-    pub fn gather<T: Clone + Send + Sync + 'static>(
+    pub async fn gather<T: Clone + Send + Sync + 'static>(
         &mut self,
         root: usize,
         value: T,
         bytes_per_rank: usize,
     ) -> Option<Vec<T>> {
-        let round = self.hub.exchange(self.rank, "gather", value, self.clock);
-        let cost = self.spec.gather_secs(self.size, bytes_per_rank);
+        let round = self.exchange("gather", value).await;
+        let cost = self.shared.spec.gather_secs(self.size, bytes_per_rank);
         self.sync_traced("gather", round.max_clock, cost);
         (self.rank == root).then(|| round.values.to_vec())
     }
 
     /// Scatter: the root supplies one value per rank; each rank receives its
     /// slot.
-    pub fn scatter<T: Clone + Send + Sync + 'static>(
+    pub async fn scatter<T: Clone + Send + Sync + 'static>(
         &mut self,
         root: usize,
         values: Option<Vec<T>>,
@@ -290,8 +325,8 @@ impl<'a> SpmdCtx<'a> {
         if let Some(v) = &values {
             assert_eq!(v.len(), self.size, "scatter needs one value per rank");
         }
-        let round = self.hub.exchange(self.rank, "scatter", values, self.clock);
-        let cost = self.spec.scatter_secs(self.size, bytes_per_rank);
+        let round = self.exchange("scatter", values).await;
+        let cost = self.shared.spec.scatter_secs(self.size, bytes_per_rank);
         self.sync_traced("scatter", round.max_clock, cost);
         round.values[root].as_ref().expect("root deposited values")[self.rank].clone()
     }
@@ -308,21 +343,87 @@ impl<'a> SpmdCtx<'a> {
         let lb_delta = self.mark_lb;
         self.mark_busy = 0.0;
         self.mark_lb = 0.0;
-        self.mark_clock = self.clock;
-        self.collector.push_mark(iter, self.rank, busy_delta, lb_delta, self.clock);
+        self.shared.collector.push_mark(iter, self.rank, busy_delta, lb_delta, self.clock);
         self.trace(EventKind::Iteration { iter });
     }
 
     /// Record that a load-balancing step happened at iteration `iter`
     /// (typically called by rank 0 only). Free in virtual time.
     pub fn mark_lb_event(&mut self, iter: u64) {
-        self.collector.push_lb_event(iter);
+        self.shared.collector.push_lb_event(iter);
     }
+}
 
-    /// Consume the context at the end of the rank closure, returning the
-    /// final clock and metrics (used by the engine; applications normally
-    /// just drop the context).
-    pub(crate) fn finish(self) -> (VirtualTime, RankMetrics) {
-        (self.clock, self.metrics)
+impl Drop for SpmdCtx {
+    /// The final clock and metrics are published when the rank body lets go
+    /// of its context — at the natural end of the program (the engine reads
+    /// them into the [`crate::engine::RunReport`]) or during unwinding (in
+    /// which case the engine re-raises the panic and never reads them).
+    fn drop(&mut self) {
+        self.shared.record_final(self.rank, self.clock, self.metrics);
+    }
+}
+
+/// Cooperative-mode rendezvous: deposit once the previous round is drained,
+/// then resolve when the round completes.
+struct ExchangeFuture<T> {
+    shared: Arc<RunShared>,
+    rank: usize,
+    op: &'static str,
+    /// `Some` until the deposit was accepted.
+    pending: Option<(T, VirtualTime)>,
+}
+
+// Purely data, never self-referential, so polling through `&mut` is fine.
+impl<T> Unpin for ExchangeFuture<T> {}
+
+impl<T: Clone + Send + Sync + 'static> Future for ExchangeFuture<T> {
+    type Output = ExchangeRound<T>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Some((value, clock)) = this.pending.take() {
+            match this.shared.hub.try_deposit(this.rank, this.op, value, clock) {
+                Ok(()) => this.shared.note_progress(),
+                Err(value) => {
+                    // Previous round not fully drained yet: retry next poll.
+                    this.pending = Some((value, clock));
+                    return Poll::Pending;
+                }
+            }
+        }
+        match this.shared.hub.try_collect::<T>(this.op) {
+            Some(round) => {
+                this.shared.note_progress();
+                Poll::Ready(round)
+            }
+            None => Poll::Pending,
+        }
+    }
+}
+
+/// Cooperative-mode receive: resolves once a matching message is posted.
+struct RecvFuture<T> {
+    shared: Arc<RunShared>,
+    me: usize,
+    from: usize,
+    tag: Tag,
+    _payload: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Unpin for RecvFuture<T> {}
+
+impl<T: Send + 'static> Future for RecvFuture<T> {
+    type Output = Received<T>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match this.shared.mail.try_recv::<T>(this.me, this.from, this.tag) {
+            Some(received) => {
+                this.shared.note_progress();
+                Poll::Ready(received)
+            }
+            None => Poll::Pending,
+        }
     }
 }

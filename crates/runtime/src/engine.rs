@@ -1,34 +1,119 @@
-//! The run engine: spawns one OS thread per rank, wires up the hub,
-//! mailboxes and metrics collector, and joins everything into a
-//! [`RunReport`].
+//! The run engine: backend-agnostic run configuration, shared run state,
+//! and the [`run`]/[`try_run`] entry points that dispatch an SPMD program
+//! onto one of the pluggable execution backends in [`crate::exec`].
+//!
+//! # Backends
+//!
+//! * [`Backend::Threaded`] — one OS thread per rank; blocking rendezvous on
+//!   condvars. Real parallelism, but thread-count limits cap it at a few
+//!   thousand ranks.
+//! * [`Backend::Sequential`] — a single-threaded cooperative scheduler that
+//!   polls every rank's program slice-by-slice between synchronization
+//!   points. No OS threads, no blocking; scales to tens of thousands of
+//!   ranks with **identical** [`RunReport`] output.
+//!
+//! Both backends drive the same [`crate::ctx::SpmdCtx`] accounting and the
+//! same [`crate::hub::Hub`]/[`crate::mailbox::MailboxSet`] state machines;
+//! only the waiting strategy differs (block vs. suspend), so a program's
+//! virtual-time behaviour is bit-identical across backends.
 
 use crate::cost::MachineSpec;
 use crate::ctx::SpmdCtx;
+use crate::exec;
 use crate::hub::Hub;
 use crate::mailbox::MailboxSet;
 use crate::metrics::{Collector, IterationStats, RankMetrics};
 use crate::time::VirtualTime;
 use crate::trace::Tracer;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::future::Future;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Which execution strategy runs the ranks of an SPMD program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// One OS thread per rank, blocking rendezvous (the default). Best when
+    /// rank bodies do real CPU work that benefits from physical cores.
+    Threaded,
+    /// Single-threaded lockstep scheduler: every rank's program runs
+    /// slice-by-slice between synchronization points on the calling thread.
+    /// Best for large `P` (no thread-count limits) and for deterministic
+    /// debugging.
+    Sequential,
+}
+
+impl Backend {
+    /// Read the `ULBA_BACKEND` environment variable (`threaded` or
+    /// `sequential`, mirroring the `ULBA_QUICK` convention). Returns `None`
+    /// when unset; unknown values warn once per process and are ignored.
+    pub fn from_env() -> Option<Backend> {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        let raw = std::env::var("ULBA_BACKEND").ok()?;
+        match raw.parse() {
+            Ok(backend) => Some(backend),
+            Err(()) => {
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "ulba-runtime: ignoring unknown ULBA_BACKEND value `{raw}` \
+                         (expected `threaded` or `sequential`)"
+                    );
+                });
+                None
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s.to_ascii_lowercase().as_str() {
+            "threaded" | "threads" | "thread" => Ok(Backend::Threaded),
+            "sequential" | "seq" => Ok(Backend::Sequential),
+            _ => Err(()),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Threaded => "threaded",
+            Backend::Sequential => "sequential",
+        })
+    }
+}
 
 /// Configuration of one SPMD run.
 #[derive(Clone)]
 pub struct RunConfig {
-    /// Number of ranks (each becomes an OS thread).
+    /// Number of ranks.
     pub ranks: usize,
     /// Machine cost model driving the virtual clocks.
     pub spec: MachineSpec,
-    /// Per-thread stack size in bytes (ranks are lightweight; 2 MiB default
-    /// keeps 256-rank runs comfortably under control).
+    /// Per-thread stack size in bytes, used by the threaded backend only
+    /// (ranks are lightweight; 2 MiB default keeps 256-rank runs comfortably
+    /// under control).
     pub stack_size: usize,
     /// Optional event tracer shared by all ranks (free in virtual time).
     pub tracer: Option<Arc<Tracer>>,
+    /// Execution backend. Defaults to the `ULBA_BACKEND` environment
+    /// variable, falling back to [`Backend::Threaded`].
+    pub backend: Backend,
 }
 
 impl RunConfig {
     /// A run with `ranks` ranks on the default machine.
     pub fn new(ranks: usize) -> Self {
-        Self { ranks, spec: MachineSpec::default(), stack_size: 2 * 1024 * 1024, tracer: None }
+        Self {
+            ranks,
+            spec: MachineSpec::default(),
+            stack_size: 2 * 1024 * 1024,
+            tracer: None,
+            backend: Backend::from_env().unwrap_or(Backend::Threaded),
+        }
     }
 
     /// Override the machine model.
@@ -41,6 +126,53 @@ impl RunConfig {
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = Some(tracer);
         self
+    }
+
+    /// Select the execution backend explicitly (overrides `ULBA_BACKEND`).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Override the per-rank thread stack size (threaded backend only).
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+}
+
+/// A structured run failure (instead of a panic deep inside the engine).
+#[derive(Debug)]
+pub enum RunError {
+    /// The threaded backend could not spawn a rank thread — typically the
+    /// OS thread limit or address space at large `P`. The run was aborted
+    /// before any rank executed, so retrying on [`Backend::Sequential`] is
+    /// always safe ([`run`] does exactly that automatically).
+    ThreadSpawn {
+        /// Rank whose thread failed to spawn.
+        rank: usize,
+        /// Total ranks requested.
+        ranks: usize,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::ThreadSpawn { rank, ranks, source } => {
+                write!(f, "failed to spawn the thread of rank {rank} (of {ranks}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::ThreadSpawn { source, .. } => Some(source),
+        }
     }
 }
 
@@ -81,72 +213,117 @@ impl RunReport {
     }
 }
 
-/// Run `body` as an SPMD program over `config.ranks` ranks and collect the
-/// report. `body` is invoked once per rank with that rank's [`SpmdCtx`].
-///
-/// Panics in any rank propagate after all threads have been joined (the
-/// panic_payload of the lowest-ranked failing thread is resumed).
-pub fn run<F>(config: RunConfig, body: F) -> RunReport
-where
-    F: Fn(&mut SpmdCtx<'_>) + Sync,
-{
-    assert!(config.ranks >= 1, "need at least one rank");
-    let hub = Hub::new(config.ranks);
-    let mail = MailboxSet::new(config.ranks);
-    let collector = Collector::new(config.ranks);
-    let spec = &config.spec;
-    let body = &body;
+/// The backend-agnostic state shared by every rank of one run: the
+/// collective rendezvous hub, the point-to-point mailboxes, the metrics
+/// collector, the machine model, and the per-rank final accounting slots.
+pub(crate) struct RunShared {
+    pub(crate) hub: Hub,
+    pub(crate) mail: MailboxSet,
+    pub(crate) collector: Collector,
+    pub(crate) spec: MachineSpec,
+    finals: Vec<Mutex<Option<(VirtualTime, RankMetrics)>>>,
+    /// Bumped on every deposit/post/receive so the sequential scheduler can
+    /// distinguish "still converging" from "deadlocked".
+    progress: AtomicU64,
+}
 
-    let mut results: Vec<Option<(VirtualTime, RankMetrics)>> = Vec::new();
-    for _ in 0..config.ranks {
-        results.push(None);
+impl RunShared {
+    pub(crate) fn new(config: &RunConfig) -> Arc<Self> {
+        Arc::new(Self {
+            hub: Hub::new(config.ranks),
+            mail: MailboxSet::new(config.ranks),
+            collector: Collector::new(config.ranks),
+            spec: config.spec.clone(),
+            finals: (0..config.ranks).map(|_| Mutex::new(None)).collect(),
+            progress: AtomicU64::new(0),
+        })
     }
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.ranks);
-        for rank in 0..config.ranks {
-            let hub = &hub;
-            let mail = &mail;
-            let collector = &collector;
-            let ranks = config.ranks;
-            let tracer = config.tracer.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("rank-{rank}"))
-                .stack_size(config.stack_size)
-                .spawn_scoped(scope, move || {
-                    let mut ctx = SpmdCtx::new(rank, ranks, hub, mail, spec, collector);
-                    if let Some(tracer) = tracer {
-                        ctx.set_tracer(tracer);
-                    }
-                    body(&mut ctx);
-                    ctx.finish()
-                })
-                .expect("failed to spawn rank thread");
-            handles.push(handle);
+    pub(crate) fn note_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn progress_count(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_final(&self, rank: usize, clock: VirtualTime, metrics: RankMetrics) {
+        *self.finals[rank].lock() = Some((clock, metrics));
+    }
+
+    fn build_report(&self) -> RunReport {
+        let (final_clocks, rank_metrics) = self
+            .finals
+            .iter()
+            .enumerate()
+            .map(|(rank, slot)| slot.lock().unwrap_or_else(|| panic!("rank {rank} never finished")))
+            .unzip();
+        RunReport {
+            rank_metrics,
+            final_clocks,
+            iterations: self.collector.iteration_stats(),
+            lb_iterations: self.collector.lb_iterations(),
         }
-        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
-        for (rank, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(res) => results[rank] = Some(res),
-                Err(p) => {
-                    if panic_payload.is_none() {
-                        panic_payload = Some(p);
-                    }
+    }
+}
+
+/// Run `body` as an SPMD program over `config.ranks` ranks and collect the
+/// report. `body` is invoked once per rank with that rank's [`SpmdCtx`] and
+/// returns the rank's program as a future; operations that synchronize with
+/// other ranks (`recv`, `barrier`, collectives) are `async` and suspend at
+/// the synchronization point, which is what lets the sequential backend
+/// interleave thousands of ranks on one thread.
+///
+/// Panics in any rank propagate after the run is wound down (on the
+/// threaded backend, the panic payload of the lowest-ranked failing thread
+/// is resumed). If the threaded backend cannot spawn its rank threads (OS
+/// thread limits at large `P`), the run transparently falls back to the
+/// sequential backend — use [`try_run`] to observe the failure instead.
+pub fn run<F, Fut>(config: RunConfig, body: F) -> RunReport
+where
+    F: Fn(SpmdCtx) -> Fut + Sync,
+    Fut: Future<Output = ()>,
+{
+    match config.backend {
+        Backend::Sequential => run_sequential(&config, &body),
+        Backend::Threaded => {
+            let shared = RunShared::new(&config);
+            match exec::threaded::execute(&shared, &config, &body) {
+                Ok(()) => shared.build_report(),
+                Err(err) => {
+                    eprintln!("ulba-runtime: {err}; falling back to the sequential backend");
+                    run_sequential(&config, &body)
                 }
             }
         }
-        if let Some(p) = panic_payload {
-            std::panic::resume_unwind(p);
-        }
-    });
-
-    let (final_clocks, rank_metrics): (Vec<_>, Vec<_>) =
-        results.into_iter().map(|r| r.expect("all ranks joined successfully")).unzip();
-
-    RunReport {
-        rank_metrics,
-        final_clocks,
-        iterations: collector.iteration_stats(),
-        lb_iterations: collector.lb_iterations(),
     }
+}
+
+/// Like [`run`], but reports backend failures as a structured [`RunError`]
+/// instead of falling back (the sequential backend cannot fail to start, so
+/// it always returns `Ok`).
+pub fn try_run<F, Fut>(config: RunConfig, body: F) -> Result<RunReport, RunError>
+where
+    F: Fn(SpmdCtx) -> Fut + Sync,
+    Fut: Future<Output = ()>,
+{
+    match config.backend {
+        Backend::Sequential => Ok(run_sequential(&config, &body)),
+        Backend::Threaded => {
+            let shared = RunShared::new(&config);
+            exec::threaded::execute(&shared, &config, &body)?;
+            Ok(shared.build_report())
+        }
+    }
+}
+
+fn run_sequential<F, Fut>(config: &RunConfig, body: &F) -> RunReport
+where
+    F: Fn(SpmdCtx) -> Fut,
+    Fut: Future<Output = ()>,
+{
+    assert!(config.ranks >= 1, "need at least one rank");
+    let shared = RunShared::new(config);
+    exec::sequential::execute(&shared, config, body);
+    shared.build_report()
 }

@@ -1,0 +1,17 @@
+//! Pluggable execution backends.
+//!
+//! A backend's job is narrow: create one [`crate::ctx::SpmdCtx`] per rank,
+//! drive each rank's program future to completion, and get out of the way —
+//! all virtual-time accounting, collective semantics, and message matching
+//! live in the backend-agnostic [`crate::hub`], [`crate::mailbox`] and
+//! [`crate::ctx`] layers. Two strategies are provided:
+//!
+//! * [`threaded`] — one OS thread per rank; ctx operations block the thread
+//!   on condvars, so each rank future completes in a single poll.
+//! * [`sequential`] — a single-threaded cooperative scheduler; ctx
+//!   operations return [`std::task::Poll::Pending`] at synchronization
+//!   points and the scheduler round-robins all ranks until everyone
+//!   finishes.
+
+pub(crate) mod sequential;
+pub(crate) mod threaded;

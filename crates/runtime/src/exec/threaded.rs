@@ -1,0 +1,133 @@
+//! The threaded backend: one OS thread per rank, blocking rendezvous.
+//!
+//! Thread spawning is all-or-nothing: every rank thread first parks on a
+//! start gate, and the bodies only begin once the last spawn succeeded. If
+//! any spawn fails (thread limits, stack allocation at large `P`), the gate
+//! aborts, the already-spawned threads exit without having touched any
+//! shared state, and a structured [`RunError::ThreadSpawn`] is returned —
+//! so [`crate::engine::run`] can retry the whole run on the sequential
+//! backend instead of panicking mid-flight.
+
+use crate::ctx::SpmdCtx;
+use crate::engine::{RunConfig, RunError, RunShared};
+use parking_lot::{Condvar, Mutex};
+use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Start gate: ranks wait here until every thread spawned (go) or a spawn
+/// failed (abort).
+struct StartGate {
+    decision: Mutex<Option<bool>>,
+    cond: Condvar,
+}
+
+impl StartGate {
+    fn new() -> Self {
+        Self { decision: Mutex::new(None), cond: Condvar::new() }
+    }
+
+    /// Block until the spawner decides; `true` means "run the body".
+    fn wait(&self) -> bool {
+        let mut decision = self.decision.lock();
+        while decision.is_none() {
+            self.cond.wait(&mut decision);
+        }
+        decision.expect("decision present")
+    }
+
+    fn open(&self, go: bool) {
+        *self.decision.lock() = Some(go);
+        self.cond.notify_all();
+    }
+}
+
+/// Waker that unparks the rank thread (only exercised if a rank awaits a
+/// future that suspends despite the blocking ctx — e.g. user-composed
+/// futures).
+struct ThreadUnparker(std::thread::Thread);
+
+impl Wake for ThreadUnparker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drive `fut` to completion on the current thread. With a blocking-mode
+/// [`SpmdCtx`] every ctx operation completes within one poll, so the loop
+/// normally runs exactly once.
+fn block_on<Fut: Future>(fut: Fut) -> Fut::Output {
+    let mut fut = pin!(fut);
+    let waker = Waker::from(Arc::new(ThreadUnparker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+/// Run every rank body on its own OS thread. Returns `Err` (without having
+/// run any body) if a rank thread could not be spawned.
+pub(crate) fn execute<F, Fut>(
+    shared: &Arc<RunShared>,
+    config: &RunConfig,
+    body: &F,
+) -> Result<(), RunError>
+where
+    F: Fn(SpmdCtx) -> Fut + Sync,
+    Fut: Future<Output = ()>,
+{
+    let ranks = config.ranks;
+    let gate = StartGate::new();
+    let mut spawn_error = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for rank in 0..ranks {
+            let spawned = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(config.stack_size)
+                .spawn_scoped(scope, {
+                    let shared = Arc::clone(shared);
+                    let tracer = config.tracer.clone();
+                    let gate = &gate;
+                    move || {
+                        if !gate.wait() {
+                            return; // aborted before anything ran
+                        }
+                        let ctx = SpmdCtx::new(rank, ranks, shared, true, tracer);
+                        block_on(body(ctx));
+                    }
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(source) => {
+                    spawn_error = Some(RunError::ThreadSpawn { rank, ranks, source });
+                    break;
+                }
+            }
+        }
+        gate.open(spawn_error.is_none());
+
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                // Keep the lowest-ranked failing thread's payload.
+                if panic_payload.is_none() {
+                    panic_payload = Some(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+    });
+
+    match spawn_error {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
+}

@@ -7,6 +7,14 @@
 //! deterministic) and the maximum deposit clock. A two-phase protocol
 //! (deposit → drain) prevents a fast rank from entering the next collective
 //! before the previous one has been fully read.
+//!
+//! The hub itself is **backend-agnostic**: the state machine
+//! ([`HubState::deposit`] / [`HubState::collect`]) is pure bookkeeping over
+//! the deposited values, and the two execution backends drive it with
+//! different waiting strategies — the threaded backend blocks on a condvar
+//! ([`Hub::exchange`]), while the sequential backend polls the non-blocking
+//! [`Hub::try_deposit`] / [`Hub::try_collect`] pair from a cooperative
+//! scheduler and never blocks at all.
 
 use crate::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};
@@ -40,7 +48,91 @@ struct HubState {
     departed: usize,
 }
 
-/// Rendezvous coordinator shared by all rank threads of one run.
+impl HubState {
+    /// Whether a new deposit may enter (the previous round is fully drained).
+    fn entry_open(&self) -> bool {
+        self.result.is_none()
+    }
+
+    /// Deposit `value` for `rank` into the current round; the caller must
+    /// have checked [`HubState::entry_open`]. When the last of `size` ranks
+    /// arrives, the rank-indexed result vector is materialized.
+    fn deposit<T: Send + Sync + 'static>(
+        &mut self,
+        size: usize,
+        rank: usize,
+        op_name: &'static str,
+        value: T,
+        clock: VirtualTime,
+    ) {
+        debug_assert!(self.entry_open(), "deposit into an undrained round");
+        match self.op_name {
+            None => self.op_name = Some(op_name),
+            Some(existing) => assert_eq!(
+                existing, op_name,
+                "collective mismatch: rank {rank} entered `{op_name}` while \
+                 others are in `{existing}` (generation {})",
+                self.generation
+            ),
+        }
+        assert!(
+            self.values[rank].is_none(),
+            "rank {rank} deposited twice in collective `{op_name}` \
+             (generation {})",
+            self.generation
+        );
+        self.values[rank] = Some(Box::new(value));
+        self.arrived += 1;
+        self.max_clock = self.max_clock.max(clock);
+
+        if self.arrived == size {
+            // Last to arrive: materialize the rank-indexed vector.
+            let mut vec: Vec<T> = Vec::with_capacity(size);
+            for slot in self.values.iter_mut() {
+                let boxed = slot.take().expect("all ranks deposited");
+                vec.push(*boxed.downcast::<T>().unwrap_or_else(|_| {
+                    panic!(
+                        "collective `{op_name}`: payload type mismatch \
+                         across ranks"
+                    )
+                }));
+            }
+            self.result = Some(Box::new(Arc::new(vec)));
+            self.result_max_clock = self.max_clock;
+        }
+    }
+
+    /// Read the completed round, if any. Returns the round plus whether this
+    /// caller was the last to depart (which resets the state for the next
+    /// generation). Must be called at most once per depositing rank.
+    fn collect<T: Send + Sync + 'static>(
+        &mut self,
+        size: usize,
+        op_name: &'static str,
+    ) -> Option<(ExchangeRound<T>, bool)> {
+        let arc = self
+            .result
+            .as_ref()?
+            .downcast_ref::<Arc<Vec<T>>>()
+            .unwrap_or_else(|| panic!("collective `{op_name}`: payload type mismatch across ranks"))
+            .clone();
+        let max_clock = self.result_max_clock;
+        self.departed += 1;
+        let last_out = self.departed == size;
+        if last_out {
+            // Reset for the next generation.
+            self.result = None;
+            self.arrived = 0;
+            self.departed = 0;
+            self.max_clock = VirtualTime::ZERO;
+            self.op_name = None;
+            self.generation += 1;
+        }
+        Some((ExchangeRound { values: arc, max_clock }, last_out))
+    }
+}
+
+/// Rendezvous coordinator shared by all ranks of one run.
 pub struct Hub {
     size: usize,
     state: Mutex<HubState>,
@@ -72,10 +164,12 @@ impl Hub {
         self.size
     }
 
-    /// Perform one all-to-all exchange. Every rank must call this with the
-    /// same value type `T` and the same `op_name`; mismatches indicate a
-    /// collective-ordering bug in the application and panic with a
-    /// diagnostic. Blocks until all ranks of the current generation arrive.
+    /// Perform one all-to-all exchange, **blocking** the calling OS thread
+    /// (the threaded backend's waiting strategy). Every rank must call this
+    /// with the same value type `T` and the same `op_name`; mismatches
+    /// indicate a collective-ordering bug in the application and panic with
+    /// a diagnostic. Blocks until all ranks of the current generation
+    /// arrive.
     pub fn exchange<T: Send + Sync + 'static>(
         &self,
         rank: usize,
@@ -87,75 +181,56 @@ impl Hub {
         let mut st = self.state.lock();
 
         // Entry guard: the previous round must be fully drained.
-        while st.result.is_some() {
+        while !st.entry_open() {
             self.cond.wait(&mut st);
         }
-
-        match st.op_name {
-            None => st.op_name = Some(op_name),
-            Some(existing) => assert_eq!(
-                existing, op_name,
-                "collective mismatch: rank {rank} entered `{op_name}` while \
-                 others are in `{existing}` (generation {})",
-                st.generation
-            ),
-        }
-        assert!(
-            st.values[rank].is_none(),
-            "rank {rank} deposited twice in collective `{op_name}` \
-             (generation {})",
-            st.generation
-        );
-        st.values[rank] = Some(Box::new(value));
-        st.arrived += 1;
-        st.max_clock = st.max_clock.max(clock);
-
-        if st.arrived == self.size {
-            // Last to arrive: materialize the rank-indexed vector.
-            let mut vec: Vec<T> = Vec::with_capacity(self.size);
-            for slot in st.values.iter_mut() {
-                let boxed = slot.take().expect("all ranks deposited");
-                vec.push(*boxed.downcast::<T>().unwrap_or_else(|_| {
-                    panic!(
-                        "collective `{op_name}`: payload type mismatch \
-                         across ranks"
-                    )
-                }));
-            }
-            st.result = Some(Box::new(Arc::new(vec)));
-            st.result_max_clock = st.max_clock;
+        st.deposit(self.size, rank, op_name, value, clock);
+        if st.result.is_some() {
+            // Last to arrive completed the round: release the waiters.
             self.cond.notify_all();
         } else {
-            let gen = st.generation;
             while st.result.is_none() {
-                debug_assert_eq!(st.generation, gen, "round completed without us");
                 self.cond.wait(&mut st);
             }
         }
 
         // Drain phase: read the shared result.
-        let arc = st
-            .result
-            .as_ref()
-            .expect("result present in drain phase")
-            .downcast_ref::<Arc<Vec<T>>>()
-            .unwrap_or_else(|| panic!("collective `{op_name}`: payload type mismatch across ranks"))
-            .clone();
-        let max_clock = st.result_max_clock;
-        st.departed += 1;
-        if st.departed == self.size {
-            // Reset for the next generation and release entry-guard waiters.
-            st.result = None;
-            st.arrived = 0;
-            st.departed = 0;
-            st.max_clock = VirtualTime::ZERO;
-            st.op_name = None;
-            st.generation += 1;
+        let (round, last_out) = st.collect(self.size, op_name).expect("result present after wait");
+        if last_out {
+            // Release the entry-guard waiters of the next round.
             self.cond.notify_all();
         }
         drop(st);
+        round
+    }
 
-        ExchangeRound { values: arc, max_clock }
+    /// Non-blocking deposit (the sequential backend's waiting strategy):
+    /// returns `Err(value)` when the previous round has not been fully
+    /// drained yet, so the caller can retry on its next poll.
+    pub(crate) fn try_deposit<T: Send + Sync + 'static>(
+        &self,
+        rank: usize,
+        op_name: &'static str,
+        value: T,
+        clock: VirtualTime,
+    ) -> Result<(), T> {
+        assert!(rank < self.size, "rank {rank} out of range (size {})", self.size);
+        let mut st = self.state.lock();
+        if !st.entry_open() {
+            return Err(value);
+        }
+        st.deposit(self.size, rank, op_name, value, clock);
+        Ok(())
+    }
+
+    /// Non-blocking collect: `None` while ranks are still missing from the
+    /// round. Must be called at most once (until `Some`) per deposit.
+    pub(crate) fn try_collect<T: Send + Sync + 'static>(
+        &self,
+        op_name: &'static str,
+    ) -> Option<ExchangeRound<T>> {
+        let mut st = self.state.lock();
+        st.collect(self.size, op_name).map(|(round, _)| round)
     }
 }
 
@@ -245,5 +320,38 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn nonblocking_protocol_completes_a_round() {
+        let hub = Hub::new(3);
+        for rank in 0..3usize {
+            assert!(hub
+                .try_deposit(rank, "poll", rank as u32, VirtualTime::from_secs(rank as f64))
+                .is_ok());
+            if rank < 2 {
+                assert!(hub.try_collect::<u32>("poll").is_none(), "round incomplete");
+            }
+        }
+        for _ in 0..3 {
+            let round = hub.try_collect::<u32>("poll").expect("round complete");
+            assert_eq!(*round.values, vec![0, 1, 2]);
+            assert_eq!(round.max_clock.as_secs(), 2.0);
+        }
+        // Fully drained: the next round may start.
+        assert!(hub.try_deposit(0, "poll", 9u32, VirtualTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn nonblocking_deposit_rejected_until_drained() {
+        let hub = Hub::new(2);
+        assert!(hub.try_deposit(0, "guard", 1u8, VirtualTime::ZERO).is_ok());
+        assert!(hub.try_deposit(1, "guard", 2u8, VirtualTime::ZERO).is_ok());
+        // Round complete but undrained: rank 0 cannot enter the next round.
+        let _ = hub.try_collect::<u8>("guard").expect("complete");
+        assert_eq!(hub.try_deposit(0, "guard", 3u8, VirtualTime::ZERO), Err(3u8));
+        let _ = hub.try_collect::<u8>("guard").expect("complete");
+        // Now both departed: entry reopens.
+        assert!(hub.try_deposit(0, "guard", 3u8, VirtualTime::ZERO).is_ok());
     }
 }

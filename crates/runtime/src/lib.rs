@@ -1,25 +1,48 @@
-//! `ulba-runtime` — a virtual-time SPMD distributed-memory runtime.
+//! `ulba-runtime` — a virtual-time SPMD distributed-memory runtime with
+//! pluggable execution backends.
 //!
 //! Boulmier et al. (CLUSTER 2019) evaluated ULBA with MPI on a physical
 //! cluster. This crate is the substitute substrate: it runs an SPMD program
-//! with one OS thread per rank, real message passing between threads, and a
-//! **virtual clock** per rank advanced by a machine cost model (compute =
-//! FLOPs/ω; communication = Hockney `α + n·β` with log-tree collectives).
-//! Iteration wall time — the input to every load-balancing decision in the
-//! paper — is the max of the rank clocks at each synchronization point,
-//! exactly as on a bulk-synchronous machine, but deterministic and
-//! independent of how many physical cores run the simulation.
+//! with real message passing between ranks and a **virtual clock** per rank
+//! advanced by a machine cost model (compute = FLOPs/ω; communication =
+//! Hockney `α + n·β` with log-tree collectives). Iteration wall time — the
+//! input to every load-balancing decision in the paper — is the max of the
+//! rank clocks at each synchronization point, exactly as on a
+//! bulk-synchronous machine, but deterministic and independent of how many
+//! physical cores run the simulation.
+//!
+//! # Execution backends
+//!
+//! Rank programs are `async`: operations that synchronize with other ranks
+//! (`recv`, `barrier`, collectives) are await points, which lets the
+//! execution strategy be chosen per run ([`RunConfig::with_backend`], or
+//! the `ULBA_BACKEND` environment variable):
+//!
+//! * [`Backend::Threaded`] (default) — one OS thread per rank, blocking
+//!   rendezvous. Real parallelism for CPU-heavy rank bodies, but OS thread
+//!   limits cap it at a few thousand ranks.
+//! * [`Backend::Sequential`] — a single-threaded lockstep (discrete-event)
+//!   scheduler that runs each rank's program slice-by-slice between
+//!   synchronization points. No threads and no blocking, so it scales to
+//!   tens of thousands of ranks (`P ≥ 16384`) and detects deadlocks
+//!   instead of hanging.
+//!
+//! Both backends drive the same accounting, collective semantics, and
+//! message matching, so they produce **bit-identical** [`RunReport`]s.
+//! If the threaded backend cannot spawn its rank threads (large `P`),
+//! [`run`] transparently falls back to the sequential backend;
+//! [`try_run`] surfaces the failure as a [`RunError`] instead.
 //!
 //! # Example
 //!
 //! ```
 //! use ulba_runtime::{run, RunConfig};
 //!
-//! let report = run(RunConfig::new(4), |ctx| {
+//! let report = run(RunConfig::new(4), |mut ctx| async move {
 //!     // Rank 0 works twice as long as the others...
 //!     let flops = if ctx.rank() == 0 { 2.0e9 } else { 1.0e9 };
 //!     ctx.compute(flops);
-//!     ctx.barrier();
+//!     ctx.barrier().await;
 //!     ctx.mark_iteration(0);
 //! });
 //! // ...so the makespan is rank 0's compute time (plus the barrier).
@@ -33,6 +56,7 @@
 pub mod cost;
 pub mod ctx;
 pub mod engine;
+pub(crate) mod exec;
 pub mod hub;
 pub mod mailbox;
 pub mod metrics;
@@ -41,7 +65,7 @@ pub mod trace;
 
 pub use cost::MachineSpec;
 pub use ctx::SpmdCtx;
-pub use engine::{run, RunConfig, RunReport};
+pub use engine::{run, try_run, Backend, RunConfig, RunError, RunReport};
 pub use mailbox::Tag;
 pub use metrics::{IterationStats, RankMetrics, TimeKind};
 pub use time::VirtualTime;
@@ -53,7 +77,7 @@ mod tests {
 
     #[test]
     fn single_rank_compute_only() {
-        let report = run(RunConfig::new(1), |ctx| {
+        let report = run(RunConfig::new(1), |mut ctx| async move {
             ctx.compute(3.0e9); // 3 GFLOP at 1 GFLOPS
         });
         assert!((report.makespan().as_secs() - 3.0).abs() < 1e-9);
@@ -62,7 +86,7 @@ mod tests {
 
     #[test]
     fn makespan_is_max_rank_clock() {
-        let report = run(RunConfig::new(8), |ctx| {
+        let report = run(RunConfig::new(8), |mut ctx| async move {
             ctx.compute(1.0e9 * (ctx.rank() as f64 + 1.0));
         });
         assert!((report.makespan().as_secs() - 8.0).abs() < 1e-9);
@@ -70,9 +94,9 @@ mod tests {
 
     #[test]
     fn barrier_syncs_clocks_and_books_idle() {
-        let report = run(RunConfig::new(4), |ctx| {
+        let report = run(RunConfig::new(4), |mut ctx| async move {
             ctx.compute(if ctx.rank() == 3 { 4.0e9 } else { 1.0e9 });
-            ctx.barrier();
+            ctx.barrier().await;
         });
         // All final clocks equal (max + barrier cost).
         let c0 = report.final_clocks[0];
@@ -88,12 +112,12 @@ mod tests {
 
     #[test]
     fn p2p_roundtrip_and_arrival_times() {
-        let report = run(RunConfig::new(2), |ctx| {
+        let report = run(RunConfig::new(2), |mut ctx| async move {
             if ctx.rank() == 0 {
                 ctx.compute(1.0e9);
                 ctx.send(1, 7, 0xDEADu32, 1024);
             } else {
-                let v: u32 = ctx.recv(0, 7);
+                let v: u32 = ctx.recv(0, 7).await;
                 assert_eq!(v, 0xDEAD);
                 // Receiver idled until the message arrived (~1 s + net).
                 assert!(ctx.now().as_secs() >= 1.0);
@@ -104,26 +128,26 @@ mod tests {
 
     #[test]
     fn allreduce_sum_and_max() {
-        run(RunConfig::new(16), |ctx| {
-            let sum = ctx.allreduce_sum(ctx.rank() as f64);
+        run(RunConfig::new(16), |mut ctx| async move {
+            let sum = ctx.allreduce_sum(ctx.rank() as f64).await;
             assert_eq!(sum, (0..16).sum::<usize>() as f64);
-            let max = ctx.allreduce_max(ctx.rank() as f64);
+            let max = ctx.allreduce_max(ctx.rank() as f64).await;
             assert_eq!(max, 15.0);
         });
     }
 
     #[test]
     fn broadcast_from_nonzero_root() {
-        run(RunConfig::new(5), |ctx| {
-            let v = ctx.broadcast(3, (ctx.rank() == 3).then_some(vec![1u8, 2, 3]), 3);
+        run(RunConfig::new(5), |mut ctx| async move {
+            let v = ctx.broadcast(3, (ctx.rank() == 3).then_some(vec![1u8, 2, 3]), 3).await;
             assert_eq!(v, vec![1, 2, 3]);
         });
     }
 
     #[test]
     fn gather_only_root_receives() {
-        run(RunConfig::new(6), |ctx| {
-            let g = ctx.gather(2, ctx.rank() * 2, 8);
+        run(RunConfig::new(6), |mut ctx| async move {
+            let g = ctx.gather(2, ctx.rank() * 2, 8).await;
             if ctx.rank() == 2 {
                 assert_eq!(g.unwrap(), vec![0, 2, 4, 6, 8, 10]);
             } else {
@@ -134,46 +158,46 @@ mod tests {
 
     #[test]
     fn scatter_delivers_rank_slot() {
-        run(RunConfig::new(4), |ctx| {
+        run(RunConfig::new(4), |mut ctx| async move {
             let values = (ctx.rank() == 0).then(|| (0..4).map(|r| format!("slot-{r}")).collect());
-            let mine = ctx.scatter(0, values, 16);
+            let mine = ctx.scatter(0, values, 16).await;
             assert_eq!(mine, format!("slot-{}", ctx.rank()));
         });
     }
 
     #[test]
     fn allgather_is_rank_indexed() {
-        run(RunConfig::new(7), |ctx| {
-            let all = ctx.allgather(ctx.rank() as u64 * 3, 8);
+        run(RunConfig::new(7), |mut ctx| async move {
+            let all = ctx.allgather(ctx.rank() as u64 * 3, 8).await;
             assert_eq!(all, (0..7).map(|r| r * 3).collect::<Vec<u64>>());
         });
     }
 
     #[test]
     fn drain_after_barrier_is_deterministic() {
-        run(RunConfig::new(6), |ctx| {
+        run(RunConfig::new(6), |mut ctx| async move {
             // Everyone sends to rank 0.
             if ctx.rank() != 0 {
                 ctx.send(0, 1, ctx.rank(), 8);
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if ctx.rank() == 0 {
                 let msgs: Vec<(usize, usize)> = ctx.drain(1);
                 let from: Vec<usize> = msgs.iter().map(|(f, _)| *f).collect();
                 assert_eq!(from, vec![1, 2, 3, 4, 5], "drain must be (from, seq)-sorted");
             }
-            ctx.barrier();
+            ctx.barrier().await;
         });
     }
 
     #[test]
     fn iteration_stats_reflect_imbalance() {
-        let report = run(RunConfig::new(4), |ctx| {
+        let report = run(RunConfig::new(4), |mut ctx| async move {
             for iter in 0..3u64 {
                 // Iteration 1 is imbalanced: rank 0 does 4x work.
                 let flops = if iter == 1 && ctx.rank() == 0 { 4.0e9 } else { 1.0e9 };
                 ctx.compute(flops);
-                ctx.barrier();
+                ctx.barrier().await;
                 ctx.mark_iteration(iter);
             }
         });
@@ -189,13 +213,13 @@ mod tests {
 
     #[test]
     fn lb_events_recorded() {
-        let report = run(RunConfig::new(3), |ctx| {
+        let report = run(RunConfig::new(3), |mut ctx| async move {
             ctx.compute(1.0e9);
             if ctx.rank() == 0 {
                 ctx.mark_lb_event(5);
                 ctx.mark_lb_event(9);
             }
-            ctx.barrier();
+            ctx.barrier().await;
         });
         assert_eq!(report.lb_iterations, vec![5, 9]);
         assert_eq!(report.lb_call_count(), 2);
@@ -204,14 +228,14 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let go = || {
-            run(RunConfig::new(12), |ctx| {
+            run(RunConfig::new(12), |mut ctx| async move {
                 for iter in 0..5u64 {
                     ctx.compute(1.0e8 * ((ctx.rank() + 1) as f64));
                     let next = (ctx.rank() + 1) % ctx.size();
                     let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
                     ctx.send(next, 2, ctx.rank() as u32, 64);
-                    let _: u32 = ctx.recv(prev, 2);
-                    ctx.barrier();
+                    let _: u32 = ctx.recv(prev, 2).await;
+                    ctx.barrier().await;
                     ctx.mark_iteration(iter);
                 }
             })
@@ -231,11 +255,11 @@ mod tests {
     #[test]
     fn many_ranks_smoke() {
         // 128 rank threads on one core: correctness, not speed.
-        let report = run(RunConfig::new(128), |ctx| {
-            let sum = ctx.allreduce_sum(1.0);
+        let report = run(RunConfig::new(128), |mut ctx| async move {
+            let sum = ctx.allreduce_sum(1.0).await;
             assert_eq!(sum, 128.0);
             ctx.compute(1.0e6);
-            ctx.barrier();
+            ctx.barrier().await;
         });
         assert_eq!(report.rank_metrics.len(), 128);
     }
@@ -243,7 +267,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "boom")]
     fn rank_panic_propagates() {
-        run(RunConfig::new(2), |ctx| {
+        run(RunConfig::new(2), |ctx| async move {
             if ctx.rank() == 1 {
                 panic!("boom");
             }
@@ -254,10 +278,130 @@ mod tests {
     #[test]
     fn heterogeneous_speeds_shift_balance() {
         let spec = MachineSpec::homogeneous(1.0e9).with_speeds(vec![1.0e9, 4.0e9]);
-        let report = run(RunConfig::new(2).with_spec(spec), |ctx| {
+        let report = run(RunConfig::new(2).with_spec(spec), |mut ctx| async move {
             ctx.compute(4.0e9);
         });
         assert!((report.final_clocks[0].as_secs() - 4.0).abs() < 1e-9);
         assert!((report.final_clocks[1].as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    // --- backend-specific behaviour ------------------------------------
+
+    /// A BSP body exercising compute, p2p, collectives, LB sections, and
+    /// iteration marks — the full ctx surface.
+    async fn mixed_body(mut ctx: SpmdCtx) {
+        for iter in 0..6u64 {
+            ctx.compute(1.0e8 * ((ctx.rank() % 5 + 1) as f64));
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 3, (ctx.rank(), iter), 16);
+            let (from, i) = ctx.recv::<(usize, u64)>(prev, 3).await;
+            assert_eq!((from, i), (prev, iter));
+            let total = ctx.allreduce_sum(ctx.rank() as f64).await;
+            assert_eq!(total, (0..ctx.size()).sum::<usize>() as f64);
+            if iter == 3 {
+                ctx.begin_lb();
+                ctx.compute(5.0e7);
+                let _ = ctx.allgather(ctx.rank(), 8).await;
+                ctx.end_lb();
+                if ctx.rank() == 0 {
+                    ctx.mark_lb_event(iter);
+                }
+            }
+            ctx.barrier().await;
+            ctx.mark_iteration(iter);
+        }
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_reports() {
+        let threaded = run(RunConfig::new(9).with_backend(Backend::Threaded), mixed_body);
+        let sequential = run(RunConfig::new(9).with_backend(Backend::Sequential), mixed_body);
+        assert_eq!(
+            threaded.makespan().as_secs().to_bits(),
+            sequential.makespan().as_secs().to_bits()
+        );
+        assert_eq!(threaded.rank_metrics, sequential.rank_metrics);
+        assert_eq!(threaded.final_clocks, sequential.final_clocks);
+        assert_eq!(threaded.lb_iterations, sequential.lb_iterations);
+        assert_eq!(threaded.iterations.len(), sequential.iterations.len());
+        for (a, b) in threaded.iterations.iter().zip(&sequential.iterations) {
+            assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits());
+            assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
+            assert_eq!(a.lb_active, b.lb_active);
+        }
+    }
+
+    #[test]
+    fn sequential_scales_to_16384_ranks() {
+        // Far beyond what one-thread-per-rank can do on a default OS
+        // configuration: no threads are spawned at all.
+        let p = 16384usize;
+        let report =
+            run(RunConfig::new(p).with_backend(Backend::Sequential), |mut ctx| async move {
+                ctx.compute(1.0e6 * ((ctx.rank() % 3 + 1) as f64));
+                ctx.barrier().await;
+                ctx.mark_iteration(0);
+            });
+        assert_eq!(report.rank_metrics.len(), p);
+        assert_eq!(report.iterations.len(), 1);
+        assert!((report.makespan().as_secs() - 3.0e-3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sequential_collectives_at_4096_ranks() {
+        let p = 4096usize;
+        run(RunConfig::new(p).with_backend(Backend::Sequential), move |mut ctx| async move {
+            let sum = ctx.allreduce_sum(1.0).await;
+            assert_eq!(sum, p as f64);
+            let here = ctx.allgather(ctx.rank() as u32, 4).await;
+            assert_eq!(here[ctx.rank()], ctx.rank() as u32);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential backend stalled")]
+    fn sequential_detects_deadlock() {
+        run(RunConfig::new(2).with_backend(Backend::Sequential), |mut ctx| async move {
+            if ctx.rank() == 0 {
+                // Waits for a message nobody ever sends.
+                let _: u8 = ctx.recv(1, 42).await;
+            }
+        });
+    }
+
+    #[test]
+    fn thread_spawn_failure_returns_structured_error() {
+        // A stack size no OS can map: spawning must fail before any rank
+        // body runs.
+        let config = RunConfig::new(2).with_backend(Backend::Threaded).with_stack_size(1 << 50);
+        match try_run(config, |mut ctx| async move { ctx.barrier().await }) {
+            Err(RunError::ThreadSpawn { rank, ranks, .. }) => {
+                assert_eq!(rank, 0);
+                assert_eq!(ranks, 2);
+            }
+            Ok(_) => panic!("a 1 PiB stack must not be spawnable"),
+        }
+    }
+
+    #[test]
+    fn run_falls_back_to_sequential_on_spawn_failure() {
+        let config = RunConfig::new(4).with_backend(Backend::Threaded).with_stack_size(1 << 50);
+        let report = run(config, |mut ctx| async move {
+            ctx.compute(1.0e9);
+            ctx.barrier().await;
+        });
+        assert_eq!(report.rank_metrics.len(), 4);
+        assert!((report.makespan().as_secs() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!("sequential".parse(), Ok(Backend::Sequential));
+        assert_eq!("SEQ".parse(), Ok(Backend::Sequential));
+        assert_eq!("threaded".parse(), Ok(Backend::Threaded));
+        assert_eq!("Threads".parse(), Ok(Backend::Threaded));
+        assert_eq!("fibers".parse::<Backend>(), Err(()));
+        assert_eq!(Backend::Sequential.to_string(), "sequential");
     }
 }

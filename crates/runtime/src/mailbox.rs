@@ -70,30 +70,53 @@ impl MailboxSet {
         self.conds[to].notify_all();
     }
 
+    /// Take the FIFO-next matching envelope out of `inbox`, if present.
+    fn take_match<T: Send + 'static>(
+        inbox: &mut Vec<Envelope>,
+        me: usize,
+        from: usize,
+        tag: Tag,
+    ) -> Option<Received<T>> {
+        // Lowest-seq match = FIFO within the (from, tag) channel.
+        let mut best: Option<(usize, u64)> = None;
+        for (i, env) in inbox.iter().enumerate() {
+            if env.from == from && env.tag == tag {
+                match best {
+                    Some((_, seq)) if env.seq >= seq => {}
+                    _ => best = Some((i, env.seq)),
+                }
+            }
+        }
+        let (idx, _) = best?;
+        let env = inbox.swap_remove(idx);
+        let value = *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!("rank {me}: type mismatch receiving tag {tag} from rank {from}")
+        });
+        Some(Received { from: env.from, seq: env.seq, arrival: env.arrival, value })
+    }
+
     /// Blocking receive of the next message from `from` with tag `tag`
-    /// (FIFO per sender/tag channel).
+    /// (FIFO per sender/tag channel) — the threaded backend's waiting
+    /// strategy.
     pub fn recv<T: Send + 'static>(&self, me: usize, from: usize, tag: Tag) -> Received<T> {
         let mut inbox = self.boxes[me].lock();
         loop {
-            // Lowest-seq match = FIFO within the (from, tag) channel.
-            let mut best: Option<(usize, u64)> = None;
-            for (i, env) in inbox.iter().enumerate() {
-                if env.from == from && env.tag == tag {
-                    match best {
-                        Some((_, seq)) if env.seq >= seq => {}
-                        _ => best = Some((i, env.seq)),
-                    }
-                }
-            }
-            if let Some((idx, _)) = best {
-                let env = inbox.swap_remove(idx);
-                let value = *env.payload.downcast::<T>().unwrap_or_else(|_| {
-                    panic!("rank {me}: type mismatch receiving tag {tag} from rank {from}")
-                });
-                return Received { from: env.from, seq: env.seq, arrival: env.arrival, value };
+            if let Some(received) = Self::take_match(&mut inbox, me, from, tag) {
+                return received;
             }
             self.conds[me].wait(&mut inbox);
         }
+    }
+
+    /// Non-blocking receive (the sequential backend's waiting strategy):
+    /// `None` when no matching message has been posted yet.
+    pub fn try_recv<T: Send + 'static>(
+        &self,
+        me: usize,
+        from: usize,
+        tag: Tag,
+    ) -> Option<Received<T>> {
+        Self::take_match(&mut self.boxes[me].lock(), me, from, tag)
     }
 
     /// Drain every currently deposited message with tag `tag`, in
@@ -200,6 +223,17 @@ mod tests {
     fn drain_empty_is_empty() {
         let mail = MailboxSet::new(1);
         assert!(mail.drain::<u8>(0, 0).is_empty());
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let mail = MailboxSet::new(2);
+        assert!(mail.try_recv::<u64>(1, 0, 1).is_none());
+        mail.post(0, 1, 1, 0, VirtualTime::from_secs(0.5), 99u64);
+        let got = mail.try_recv::<u64>(1, 0, 1).expect("posted");
+        assert_eq!(got.value, 99);
+        assert_eq!(got.arrival.as_secs(), 0.5);
+        assert!(mail.try_recv::<u64>(1, 0, 1).is_none());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! collective semantics.
 
 use proptest::prelude::*;
-use ulba_runtime::{run, MachineSpec, RunConfig, TimeKind};
+use ulba_runtime::{run, Backend, MachineSpec, RunConfig, TimeKind};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -13,8 +13,9 @@ proptest! {
     fn makespan_is_max_compute(flops in proptest::collection::vec(1.0e6f64..1.0e10, 1..12)) {
         let ranks = flops.len();
         let flops_ref = flops.clone();
-        let report = run(RunConfig::new(ranks), move |ctx| {
-            ctx.compute(flops_ref[ctx.rank()]);
+        let report = run(RunConfig::new(ranks), move |mut ctx| {
+            let flops = flops_ref.clone();
+            async move { ctx.compute(flops[ctx.rank()]) }
         });
         let expect = flops.iter().copied().fold(0.0f64, f64::max) / 1.0e9;
         prop_assert!((report.makespan().as_secs() - expect).abs() < 1e-9 * expect);
@@ -26,9 +27,12 @@ proptest! {
     fn barrier_idle_accounting(flops in proptest::collection::vec(1.0e6f64..1.0e10, 2..10)) {
         let ranks = flops.len();
         let flops_ref = flops.clone();
-        let report = run(RunConfig::new(ranks), move |ctx| {
-            ctx.compute(flops_ref[ctx.rank()]);
-            ctx.barrier();
+        let report = run(RunConfig::new(ranks), move |mut ctx| {
+            let flops = flops_ref.clone();
+            async move {
+                ctx.compute(flops[ctx.rank()]);
+                ctx.barrier().await;
+            }
         });
         let max = flops.iter().copied().fold(0.0f64, f64::max);
         let expected_idle: f64 = flops.iter().map(|f| (max - f) / 1.0e9).sum();
@@ -45,12 +49,15 @@ proptest! {
     fn allreduce_equals_allgather_fold(values in proptest::collection::vec(-1.0e6f64..1.0e6, 2..10)) {
         let ranks = values.len();
         let vals = values.clone();
-        run(RunConfig::new(ranks), move |ctx| {
-            let mine = vals[ctx.rank()];
-            let s = ctx.allreduce_sum(mine);
-            let g = ctx.allgather(mine, 8);
-            let fold: f64 = g.iter().sum();
-            assert!((s - fold).abs() < 1e-9 * fold.abs().max(1.0));
+        run(RunConfig::new(ranks), move |mut ctx| {
+            let vals = vals.clone();
+            async move {
+                let mine = vals[ctx.rank()];
+                let s = ctx.allreduce_sum(mine).await;
+                let g = ctx.allgather(mine, 8).await;
+                let fold: f64 = g.iter().sum();
+                assert!((s - fold).abs() < 1e-9 * fold.abs().max(1.0));
+            }
         });
     }
 
@@ -61,7 +68,7 @@ proptest! {
         comm in 0.0f64..10.0,
         lb in 0.0f64..10.0,
     ) {
-        let report = run(RunConfig::new(1), move |ctx| {
+        let report = run(RunConfig::new(1), move |mut ctx| async move {
             ctx.elapse(TimeKind::Busy, busy);
             ctx.elapse(TimeKind::Comm, comm);
             ctx.elapse(TimeKind::Lb, lb);
@@ -75,10 +82,50 @@ proptest! {
     #[test]
     fn speeds_scale_compute(speed_ghz in 0.5f64..8.0) {
         let spec = MachineSpec::homogeneous(speed_ghz * 1.0e9);
-        let report = run(RunConfig::new(1).with_spec(spec), |ctx| {
+        let report = run(RunConfig::new(1).with_spec(spec), |mut ctx| async move {
             ctx.compute(4.0e9);
         });
         let expect = 4.0 / speed_ghz;
         prop_assert!((report.makespan().as_secs() - expect).abs() < 1e-9 * expect);
+    }
+
+    /// The threaded and sequential backends produce bit-identical reports
+    /// for arbitrary BSP programs mixing compute, ring p2p, and collectives.
+    #[test]
+    fn backends_agree_on_random_programs(
+        flops in proptest::collection::vec(1.0e5f64..1.0e9, 2..10),
+        rounds in 1u64..5,
+    ) {
+        let ranks = flops.len();
+        let go = |backend: Backend| {
+            let flops_ref = flops.clone();
+            run(RunConfig::new(ranks).with_backend(backend), move |mut ctx| {
+                let flops = flops_ref.clone();
+                async move {
+                    for iter in 0..rounds {
+                        ctx.compute(flops[ctx.rank()]);
+                        let next = (ctx.rank() + 1) % ctx.size();
+                        let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                        ctx.send(next, 5, ctx.rank() as u64, 32);
+                        let _: u64 = ctx.recv(prev, 5).await;
+                        let _ = ctx.allreduce_max(flops[ctx.rank()]).await;
+                        ctx.barrier().await;
+                        ctx.mark_iteration(iter);
+                    }
+                }
+            })
+        };
+        let threaded = go(Backend::Threaded);
+        let sequential = go(Backend::Sequential);
+        prop_assert_eq!(&threaded.rank_metrics, &sequential.rank_metrics);
+        prop_assert_eq!(&threaded.final_clocks, &sequential.final_clocks);
+        prop_assert_eq!(
+            threaded.makespan().as_secs().to_bits(),
+            sequential.makespan().as_secs().to_bits()
+        );
+        for (a, b) in threaded.iterations.iter().zip(&sequential.iterations) {
+            prop_assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits());
+            prop_assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
+        }
     }
 }

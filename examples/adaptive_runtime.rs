@@ -20,7 +20,7 @@ fn main() {
     let items_per_rank = 1_000usize;
     let hotspot = 12usize;
 
-    let report = run(RunConfig::new(pes), |ctx| {
+    let report = run(RunConfig::new(pes), |mut ctx| async move {
         let rank = ctx.rank();
         let p = ctx.size();
         // (start, weights) of my contiguous item range.
@@ -54,14 +54,14 @@ fn main() {
 
             // Iteration wall time + deterministic gossip drain.
             let elapsed = ctx.now() - t0;
-            let t_iter = ctx.allreduce_max(elapsed);
+            let t_iter = ctx.allreduce_max(elapsed).await;
             for (_, snap) in ctx.drain::<Vec<WirEntry>>(GOSSIP) {
                 db.merge(&snap);
             }
 
             // Zhai trigger on rank 0, decision broadcast.
             let flag = (rank == 0).then(|| trigger.observe(iter, t_iter));
-            let lb_now = ctx.broadcast(0, flag, 1);
+            let lb_now = ctx.broadcast(0, flag, 1).await;
             ctx.mark_iteration(iter);
 
             if lb_now {
@@ -71,16 +71,17 @@ fn main() {
                 ctx.elapse_lb(0.05);
                 let my_z = z_scores(&db.wirs_or(0.0))[rank];
                 let alpha = LbPolicy::ulba_fixed(0.3).alpha_for(my_z);
-                let outcome = centralized_rebalance(ctx, alpha, start, &weights);
+                let outcome = centralized_rebalance(&mut ctx, alpha, start, &weights).await;
                 // Migrate the plain weight vector (no cell payload here).
                 let all: Vec<u64> = {
-                    let flat = ctx.allgather((start, weights.clone()), weights.len() * 8);
+                    let flat = ctx.allgather((start, weights.clone()), weights.len() * 8).await;
                     flat.into_iter().flat_map(|(_, w)| w).collect()
                 };
                 let range = outcome.partition.range(rank);
                 start = range.start;
                 weights = all[range.clone()].to_vec();
-                let cost = ctx.allreduce_max(ctx.now() - outcome.started_at);
+                let now = ctx.now();
+                let cost = ctx.allreduce_max(now - outcome.started_at).await;
                 ctx.end_lb();
                 if rank == 0 {
                     trigger.lb_completed(iter, cost);

@@ -30,7 +30,7 @@ fn main() {
     // Live on the runtime: 32 ranks gossip their WIR once per iteration;
     // when does rank 0 know everyone?
     println!("\nOn the SPMD runtime (32 ranks, push fanout 2):");
-    run(RunConfig::new(32), |ctx| {
+    run(RunConfig::new(32), |mut ctx| async move {
         let rank = ctx.rank();
         let p = ctx.size();
         let mut db = WirDatabase::new(p);
@@ -40,7 +40,7 @@ fn main() {
             for peer in select_peers(GossipMode::RandomPush { fanout: 2 }, rank, p, iter, 3) {
                 ctx.send(peer, 1, db.snapshot(), db.snapshot_bytes());
             }
-            ctx.barrier();
+            ctx.barrier().await;
             for (_, snap) in ctx.drain::<Vec<WirEntry>>(1) {
                 db.merge(&snap);
             }

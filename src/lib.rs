@@ -14,8 +14,10 @@
 //! * [`anneal`] (`ulba-anneal`) — the generic simulated-annealing engine
 //!   (replacement for the Python `simanneal` module used in §III-B);
 //! * [`runtime`] (`ulba-runtime`) — a virtual-time SPMD distributed-memory
-//!   runtime (ranks as threads, typed messages, collectives, Hockney cost
-//!   model, per-rank/iteration metrics);
+//!   runtime (typed messages, collectives, Hockney cost model,
+//!   per-rank/iteration metrics) with pluggable execution backends: one OS
+//!   thread per rank, or a single-threaded lockstep scheduler that scales
+//!   past 16 k ranks;
 //! * [`core`] (`ulba-core`) — the ULBA machinery of §III-C: WIR estimation,
 //!   gossip dissemination, z-score overload detection, the Zhai degradation
 //!   trigger, Algorithm 2 target shares, weighted stripe partitioning and
@@ -75,5 +77,5 @@ pub mod prelude {
         schedule::{menon_schedule, sigma_plus_schedule, total_time},
         InstanceDistribution, Method, ModelParams, Schedule,
     };
-    pub use ulba_runtime::{run, MachineSpec, RunConfig, RunReport, SpmdCtx};
+    pub use ulba_runtime::{run, try_run, Backend, MachineSpec, RunConfig, RunReport, SpmdCtx};
 }

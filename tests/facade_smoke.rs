@@ -53,12 +53,30 @@ fn quickstart_erosion_run() {
 /// program reports the overloaded rank's clock as the makespan.
 #[test]
 fn quickstart_runtime_run() {
-    let report = run(RunConfig::new(2), |ctx: &mut SpmdCtx| {
+    let report = run(RunConfig::new(2), |mut ctx: SpmdCtx| async move {
         let flops = if ctx.rank() == 0 { 2.0e9 } else { 1.0e9 };
         ctx.compute(flops);
-        ctx.barrier();
+        ctx.barrier().await;
         ctx.mark_iteration(0);
     });
     assert!(report.makespan().as_secs() >= 2.0);
     assert!(report.mean_utilization() <= 1.0);
+}
+
+/// Backend selection through the prelude: the sequential backend reproduces
+/// the threaded run exactly.
+#[test]
+fn quickstart_backend_selection() {
+    let go = |backend: Backend| {
+        run(RunConfig::new(3).with_backend(backend), |mut ctx| async move {
+            ctx.compute(1.0e9 * (ctx.rank() + 1) as f64);
+            let mine = ctx.now().as_secs();
+            let peak = ctx.allreduce_max(mine).await;
+            assert!((peak - 3.0).abs() < 1e-9, "slowest rank computed 3 GFLOP");
+            ctx.barrier().await;
+        })
+    };
+    let threaded = go(Backend::Threaded);
+    let sequential = go(Backend::Sequential);
+    assert_eq!(threaded.makespan().as_secs().to_bits(), sequential.makespan().as_secs().to_bits());
 }

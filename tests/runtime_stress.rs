@@ -8,22 +8,22 @@ use ulba::runtime::{run, EventKind, MachineSpec, RunConfig, TimeKind, Tracer};
 
 #[test]
 fn mixed_collectives_and_p2p_many_rounds() {
-    let report = run(RunConfig::new(24), |ctx| {
+    let report = run(RunConfig::new(24), |mut ctx| async move {
         let rank = ctx.rank();
         let size = ctx.size();
         for round in 0..50u64 {
             ctx.compute(1.0e7 * ((rank + 1) as f64));
             // Ring p2p.
             ctx.send((rank + 1) % size, 1, (rank, round), 16);
-            let (from, r) = ctx.recv::<(usize, u64)>((rank + size - 1) % size, 1);
+            let (from, r) = ctx.recv::<(usize, u64)>((rank + size - 1) % size, 1).await;
             assert_eq!(from, (rank + size - 1) % size);
             assert_eq!(r, round);
             // Interleaved collectives.
-            let total = ctx.allreduce_sum(1.0);
+            let total = ctx.allreduce_sum(1.0).await;
             assert_eq!(total, size as f64);
-            let gathered = ctx.allgather(rank as u32, 4);
+            let gathered = ctx.allgather(rank as u32, 4).await;
             assert_eq!(gathered.len(), size);
-            ctx.barrier();
+            ctx.barrier().await;
             ctx.mark_iteration(round);
         }
     });
@@ -33,11 +33,11 @@ fn mixed_collectives_and_p2p_many_rounds() {
 
 #[test]
 fn lb_sections_book_time_as_lb() {
-    let report = run(RunConfig::new(4), |ctx| {
+    let report = run(RunConfig::new(4), |mut ctx| async move {
         ctx.compute(1.0e9);
         ctx.begin_lb();
         ctx.compute(5.0e8); // rebooked as LB work
-        let _ = ctx.allgather(ctx.rank(), 8); // collective inside LB
+        let _ = ctx.allgather(ctx.rank(), 8).await; // collective inside LB
         ctx.end_lb();
         ctx.compute(1.0e9);
     });
@@ -52,9 +52,9 @@ fn utilization_reflects_speed_heterogeneity() {
     // Two ranks, one twice as fast: same FLOPs → the fast one idles half
     // the time at the barrier.
     let spec = MachineSpec::homogeneous(1.0e9).with_speeds(vec![1.0e9, 2.0e9]);
-    let report = run(RunConfig::new(2).with_spec(spec), |ctx| {
+    let report = run(RunConfig::new(2).with_spec(spec), |mut ctx| async move {
         ctx.compute(2.0e9);
-        ctx.barrier();
+        ctx.barrier().await;
         ctx.mark_iteration(0);
     });
     let util = report.iterations[0].mean_utilization;
@@ -65,20 +65,23 @@ fn utilization_reflects_speed_heterogeneity() {
 fn deterministic_under_contention() {
     let go = || {
         let order = Mutex::new(Vec::new());
-        let report = run(RunConfig::new(16), |ctx| {
-            for round in 0..20u64 {
-                // All-to-one traffic with rank-dependent compute to shake
-                // up physical scheduling.
-                ctx.compute(1.0e6 * ((ctx.rank() * 7919 % 13) as f64 + 1.0));
-                if ctx.rank() != 0 {
-                    ctx.send(0, 9, ctx.rank() as u64 * 1000 + round, 8);
+        let report = run(RunConfig::new(16), |mut ctx| {
+            let order = &order;
+            async move {
+                for round in 0..20u64 {
+                    // All-to-one traffic with rank-dependent compute to shake
+                    // up physical scheduling.
+                    ctx.compute(1.0e6 * ((ctx.rank() * 7919 % 13) as f64 + 1.0));
+                    if ctx.rank() != 0 {
+                        ctx.send(0, 9, ctx.rank() as u64 * 1000 + round, 8);
+                    }
+                    ctx.barrier().await;
+                    if ctx.rank() == 0 {
+                        let msgs: Vec<(usize, u64)> = ctx.drain(9);
+                        order.lock().push(msgs.iter().map(|(f, _)| *f).collect::<Vec<_>>());
+                    }
+                    ctx.barrier().await;
                 }
-                ctx.barrier();
-                if ctx.rank() == 0 {
-                    let msgs: Vec<(usize, u64)> = ctx.drain(9);
-                    order.lock().push(msgs.iter().map(|(f, _)| *f).collect::<Vec<_>>());
-                }
-                ctx.barrier();
             }
         });
         (report.makespan().as_secs(), order.into_inner())
@@ -91,7 +94,7 @@ fn deterministic_under_contention() {
 
 #[test]
 fn elapse_kinds_accumulate_correctly() {
-    let report = run(RunConfig::new(1), |ctx| {
+    let report = run(RunConfig::new(1), |mut ctx| async move {
         ctx.elapse(TimeKind::Busy, 1.0);
         ctx.elapse(TimeKind::Comm, 0.5);
         ctx.elapse(TimeKind::Lb, 0.25);
@@ -108,15 +111,15 @@ fn elapse_kinds_accumulate_correctly() {
 #[test]
 fn tracer_captures_the_whole_protocol() {
     let tracer = Arc::new(Tracer::new(100_000));
-    run(RunConfig::new(3).with_tracer(Arc::clone(&tracer)), |ctx| {
+    run(RunConfig::new(3).with_tracer(Arc::clone(&tracer)), |mut ctx| async move {
         ctx.compute(1.0e9);
         if ctx.rank() == 0 {
             ctx.send(1, 4, 42u8, 1);
         } else if ctx.rank() == 1 {
-            let _: u8 = ctx.recv(0, 4);
+            let _: u8 = ctx.recv(0, 4).await;
         }
         ctx.begin_lb();
-        ctx.barrier();
+        ctx.barrier().await;
         ctx.end_lb();
         ctx.mark_iteration(0);
     });
@@ -138,11 +141,11 @@ fn tracer_captures_the_whole_protocol() {
 #[test]
 fn large_rank_count_with_collectives() {
     // 200 rank threads on whatever cores exist: the hub must scale.
-    let report = run(RunConfig::new(200), |ctx| {
-        let sum = ctx.allreduce_sum(ctx.rank() as f64);
+    let report = run(RunConfig::new(200), |mut ctx| async move {
+        let sum = ctx.allreduce_sum(ctx.rank() as f64).await;
         assert_eq!(sum, (0..200).sum::<usize>() as f64);
         ctx.compute(1.0e6);
-        ctx.barrier();
+        ctx.barrier().await;
         ctx.mark_iteration(0);
     });
     assert_eq!(report.rank_metrics.len(), 200);
