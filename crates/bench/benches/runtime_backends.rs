@@ -1,11 +1,14 @@
 //! Backend comparison: the same BSP program (compute + allreduce + barrier
-//! per round) on the threaded vs. sequential executor at growing rank
-//! counts.
+//! per round) on the threaded vs. sequential vs. parallel executor at
+//! growing rank counts.
 //!
 //! The threaded backend pays thread spawn + condvar rendezvous per
 //! collective, which grows steeply with `P` on an oversubscribed machine;
 //! the sequential backend replaces all of it with one round-robin pass per
-//! superstep. This bench tracks that crossover in the perf trajectory.
+//! superstep; the parallel backend adds work stealing and wake-driven
+//! scheduling over a fixed worker pool, so its overhead is the queue + CAS
+//! churn per suspension. This bench tracks all three curves in the perf
+//! trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ulba_runtime::{run, Backend, RunConfig};
@@ -28,9 +31,11 @@ fn bench_backends(c: &mut Criterion) {
     let mut g = c.benchmark_group("backend_bsp_10_rounds");
     g.sample_size(10);
     for ranks in [64usize, 256, 1024] {
-        for (label, backend) in
-            [("threaded", Backend::Threaded), ("sequential", Backend::Sequential)]
-        {
+        for (label, backend) in [
+            ("threaded", Backend::Threaded),
+            ("sequential", Backend::Sequential),
+            ("parallel", Backend::Parallel),
+        ] {
             g.bench_with_input(BenchmarkId::new(label, ranks), &ranks, |b, &ranks| {
                 b.iter(|| bsp_run(ranks, backend))
             });

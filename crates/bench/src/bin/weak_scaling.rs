@@ -1,14 +1,35 @@
 //! Weak-scaling study: erosion at P ∈ {64, 256, 1024, 4096}, standard vs
-//! ULBA, on a selectable runtime backend.
+//! ULBA, on selectable runtime backends.
 //!
-//! `--backend sequential` is the intended way to reach the large-P end of
-//! the sweep (no OS threads); `--ranks 4096` narrows the sweep to one PE
-//! count; `--smoke` (or `ULBA_QUICK=1`) shrinks the domain for CI.
+//! `--backend sequential` or `--backend parallel` is the intended way to
+//! reach the large-P end of the sweep (no OS thread per rank; parallel
+//! additionally uses all cores, tunable with `--workers N`).
+//! `--backends sequential,parallel` runs the sweep once per backend in a
+//! single invocation so their simulation wall-clocks can be compared;
+//! `--ranks 16384` narrows the sweep to one PE count; `--smoke` (or
+//! `ULBA_QUICK=1`) shrinks the domain for CI; `--json <path>` additionally
+//! writes the machine-readable perf-trajectory report covering every
+//! backend of the invocation (CI uploads it as `BENCH_weak_scaling.json`).
 use ulba_bench::figures::weak_scaling::{self, WEAK_SCALING_PE_COUNTS};
-use ulba_bench::output::{cli_backend, cli_ranks, quick_mode};
+use ulba_bench::output::{
+    apply_cli_backend, cli_backend, cli_backends, cli_json_path, cli_ranks, quick_mode,
+};
 
 fn main() {
-    let backend = cli_backend();
+    // Exports --workers as ULBA_WORKERS (and --backend as ULBA_BACKEND) so
+    // the runtime picks them up; the per-run backend below still wins.
+    apply_cli_backend();
+    let backends: Vec<Option<ulba_runtime::Backend>> = match cli_backends() {
+        Some(list) => list.into_iter().map(Some).collect(),
+        None => vec![cli_backend()],
+    };
     let pes = cli_ranks().unwrap_or_else(|| WEAK_SCALING_PE_COUNTS.to_vec());
-    weak_scaling::run(&pes, backend, quick_mode());
+    let smoke = quick_mode();
+    let mut rows = Vec::new();
+    for backend in backends {
+        rows.extend(weak_scaling::run(&pes, backend, smoke));
+    }
+    if let Some(path) = cli_json_path() {
+        weak_scaling::write_json_report(&rows, smoke, &path);
+    }
 }

@@ -5,16 +5,22 @@
 //! behaviour changes qualitatively in the thousands-of-PEs regime. This
 //! study keeps the per-PE domain fixed (weak scaling) and sweeps
 //! `P ∈ {64, 256, 1024, 4096}` under the standard method and ULBA, on a
-//! selectable runtime backend — the sequential backend is what makes
-//! `P = 4096` (and beyond) tractable, since it needs no OS threads.
+//! selectable runtime backend — the sequential and parallel backends are
+//! what make `P = 4096` (and `P = 16384`) tractable, since neither needs
+//! one OS thread per rank.
 //!
 //! Reported per (P, policy): virtual makespan, LB calls, mean PE
-//! utilization, and the *real* wall-clock cost of simulating the run (the
+//! utilization, load-imbalance statistics (max/mean busy ratio, idle
+//! fraction), and the *real* wall-clock cost of simulating the run (the
 //! backend comparison axis). CSV: `results/weak_scaling_<backend>.csv` —
-//! one file per backend, so runs on different backends can be compared
-//! side by side instead of overwriting each other.
+//! one file per backend, so runs on different backends can be compared side
+//! by side instead of overwriting each other. [`write_json_report`]
+//! additionally emits one machine-readable JSON document covering all
+//! backends of an invocation (the CI perf-trajectory artifact
+//! `BENCH_weak_scaling.json`).
 
-use crate::output::{print_table, write_csv};
+use crate::output::{json_escape, json_f64, print_table, write_csv, write_json};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use ulba_core::gossip::GossipMode;
 use ulba_core::policy::LbPolicy;
@@ -24,19 +30,25 @@ use ulba_runtime::Backend;
 /// Default PE sweep of the study.
 pub const WEAK_SCALING_PE_COUNTS: [usize; 4] = [64, 256, 1024, 4096];
 
-/// One (P, policy) measurement.
+/// One (P, policy, backend) measurement.
 #[derive(Debug, Clone)]
 pub struct WeakScalingRow {
     /// PE count.
     pub ranks: usize,
     /// Policy label (`standard` / `ulba`).
     pub policy: &'static str,
+    /// Backend label (`threaded` / `sequential` / `parallel` / `default`).
+    pub backend: String,
     /// Virtual makespan in seconds.
     pub makespan: f64,
     /// Number of LB steps performed.
     pub lb_calls: usize,
     /// Mean PE utilization over the run.
     pub mean_utilization: f64,
+    /// Load-imbalance factor λ: max busy time over mean busy time.
+    pub busy_max_over_mean: f64,
+    /// Fraction of total accounted virtual time spent idle (waiting).
+    pub idle_fraction: f64,
     /// Real wall-clock seconds spent simulating the run.
     pub sim_secs: f64,
 }
@@ -81,19 +93,36 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
             let started = Instant::now();
             let res = run_erosion(&cfg);
             let sim_secs = started.elapsed().as_secs_f64();
+            let busy: Vec<f64> = res.rank_metrics.iter().map(|m| m.busy).collect();
+            let busy_mean = busy.iter().sum::<f64>() / busy.len() as f64;
+            let busy_max_over_mean = if busy_mean > 0.0 {
+                busy.iter().copied().fold(0.0f64, f64::max) / busy_mean
+            } else {
+                1.0
+            };
+            let total: f64 = res.rank_metrics.iter().map(|m| m.total()).sum();
+            let idle_fraction = if total > 0.0 {
+                res.rank_metrics.iter().map(|m| m.idle).sum::<f64>() / total
+            } else {
+                0.0
+            };
             eprintln!(
-                "  [P={ranks} {label}] makespan {:.2}s, {} LB calls, \
-                 util {:.1}%, simulated in {sim_secs:.2}s",
+                "  [P={ranks} {label} {backend_label}] makespan {:.2}s, {} LB calls, \
+                 util {:.1}%, λ {:.3}, simulated in {sim_secs:.2}s",
                 res.makespan,
                 res.lb_calls,
-                res.mean_utilization * 100.0
+                res.mean_utilization * 100.0,
+                busy_max_over_mean,
             );
             rows.push(WeakScalingRow {
                 ranks,
                 policy: label,
+                backend: backend_label.clone(),
                 makespan: res.makespan,
                 lb_calls: res.lb_calls,
                 mean_utilization: res.mean_utilization,
+                busy_max_over_mean,
+                idle_fraction,
                 sim_secs,
             });
         }
@@ -108,34 +137,78 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
                 format!("{:.2}", r.makespan),
                 r.lb_calls.to_string(),
                 format!("{:.1}%", r.mean_utilization * 100.0),
+                format!("{:.3}", r.busy_max_over_mean),
                 format!("{:.2}", r.sim_secs),
             ]
         })
         .collect();
     print_table(
         &format!("Weak scaling — backend {backend_label}"),
-        &["PEs", "policy", "time [s]", "LB calls", "utilization", "sim wall [s]"],
+        &["PEs", "policy", "time [s]", "LB calls", "utilization", "λ", "sim wall [s]"],
         &table,
     );
-    let csv_rows: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.ranks.to_string(),
-                r.policy.to_string(),
-                backend_label.clone(),
-                format!("{}", r.makespan),
-                r.lb_calls.to_string(),
-                format!("{}", r.mean_utilization),
-                format!("{}", r.sim_secs),
-            ]
-        })
-        .collect();
-    let path = write_csv(
-        &format!("weak_scaling_{backend_label}"),
-        &["pes", "policy", "backend", "makespan_s", "lb_calls", "mean_utilization", "sim_wall_s"],
-        &csv_rows,
-    );
+    let csv_rows: Vec<Vec<String>> = rows.iter().map(csv_row).collect();
+    let path = write_csv(&format!("weak_scaling_{backend_label}"), CSV_HEADER, &csv_rows);
     println!("wrote {}", path.display());
     rows
+}
+
+const CSV_HEADER: &[&str] = &[
+    "pes",
+    "policy",
+    "backend",
+    "makespan_s",
+    "lb_calls",
+    "mean_utilization",
+    "busy_max_over_mean",
+    "idle_fraction",
+    "sim_wall_s",
+];
+
+fn csv_row(r: &WeakScalingRow) -> Vec<String> {
+    vec![
+        r.ranks.to_string(),
+        r.policy.to_string(),
+        r.backend.clone(),
+        format!("{}", r.makespan),
+        r.lb_calls.to_string(),
+        format!("{}", r.mean_utilization),
+        format!("{}", r.busy_max_over_mean),
+        format!("{}", r.idle_fraction),
+        format!("{}", r.sim_secs),
+    ]
+}
+
+/// Serialize the collected rows as the machine-readable perf-trajectory
+/// report (`BENCH_weak_scaling.json` in CI): per (backend, P, policy) the
+/// real wall-clock simulation cost, the virtual makespan, and the
+/// imbalance statistics. Returns the written path.
+pub fn write_json_report(rows: &[WeakScalingRow], smoke: bool, path: &Path) -> PathBuf {
+    let mut doc = String::from("{\n");
+    doc.push_str("  \"schema\": 1,\n");
+    doc.push_str("  \"study\": \"weak_scaling\",\n");
+    doc.push_str(&format!("  \"smoke\": {smoke},\n"));
+    doc.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"pes\": {}, \"policy\": \"{}\", \
+             \"sim_wall_s\": {}, \"makespan_virtual_s\": {}, \"lb_calls\": {}, \
+             \"mean_utilization\": {}, \"busy_max_over_mean\": {}, \
+             \"idle_fraction\": {}}}{}\n",
+            json_escape(&r.backend),
+            r.ranks,
+            json_escape(r.policy),
+            json_f64(r.sim_secs),
+            json_f64(r.makespan),
+            r.lb_calls,
+            json_f64(r.mean_utilization),
+            json_f64(r.busy_max_over_mean),
+            json_f64(r.idle_fraction),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    doc.push_str("  ]\n}");
+    let written = write_json(path, &doc);
+    println!("wrote {}", written.display());
+    written
 }

@@ -1,8 +1,10 @@
-//! Result output: aligned console tables and CSV files under `results/`.
+//! Result output: aligned console tables, CSV files under `results/`, and
+//! minimal machine-readable JSON for the CI perf trajectory (hand-rolled —
+//! the vendored `serde` stub has no `serde_json`).
 
 use std::fs;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Directory where CSVs are written (`ULBA_RESULTS` env override,
 /// `results/` by default).
@@ -87,27 +89,98 @@ fn cli_value(flag: &str) -> Option<String> {
     None
 }
 
-/// Runtime backend selected on the command line (`--backend threaded` or
-/// `--backend sequential`), if any. Unknown values abort with a usage
-/// message rather than silently running on the wrong backend.
-pub fn cli_backend() -> Option<ulba_runtime::Backend> {
-    let raw = cli_value("--backend")?;
-    match raw.parse() {
-        Ok(backend) => Some(backend),
-        Err(()) => {
-            eprintln!("unknown --backend `{raw}` (expected `threaded` or `sequential`)");
-            std::process::exit(2);
-        }
-    }
+/// Parse one backend name, aborting with a usage message rather than
+/// silently running on the wrong backend.
+fn parse_backend(raw: &str) -> ulba_runtime::Backend {
+    raw.parse().unwrap_or_else(|()| {
+        eprintln!("unknown backend `{raw}` (expected `threaded`, `sequential` or `parallel`)");
+        std::process::exit(2);
+    })
 }
 
-/// Apply `--backend` for the whole process by exporting `ULBA_BACKEND`, so
-/// every `RunConfig::new` in the figure pipeline picks it up without
-/// threading a parameter through each study function.
+/// Runtime backend selected on the command line (`--backend threaded`,
+/// `--backend sequential` or `--backend parallel`), if any.
+pub fn cli_backend() -> Option<ulba_runtime::Backend> {
+    cli_value("--backend").map(|raw| parse_backend(&raw))
+}
+
+/// Backends selected on the command line as a comma-separated list
+/// (`--backends sequential,parallel`), if any — for studies that compare
+/// backends side by side in one invocation.
+pub fn cli_backends() -> Option<Vec<ulba_runtime::Backend>> {
+    let raw = cli_value("--backends")?;
+    let backends: Vec<ulba_runtime::Backend> =
+        raw.split(',').map(str::trim).filter(|part| !part.is_empty()).map(parse_backend).collect();
+    if backends.is_empty() {
+        eprintln!("--backends needs at least one backend");
+        std::process::exit(2);
+    }
+    Some(backends)
+}
+
+/// Output path of the machine-readable JSON report (`--json <path>`), if
+/// requested on the command line.
+pub fn cli_json_path() -> Option<PathBuf> {
+    cli_value("--json").map(PathBuf::from)
+}
+
+/// Apply `--backend` (and `--workers`, for the parallel backend) to the
+/// whole process by exporting `ULBA_BACKEND`/`ULBA_WORKERS`, so every
+/// `RunConfig::new` in the figure pipeline picks them up without threading
+/// a parameter through each study function.
 pub fn apply_cli_backend() {
     if let Some(backend) = cli_backend() {
         std::env::set_var("ULBA_BACKEND", backend.to_string());
     }
+    if let Some(workers) = cli_value("--workers") {
+        if workers.parse::<usize>().is_err() {
+            eprintln!("invalid --workers `{workers}` (expected a thread count)");
+            std::process::exit(2);
+        }
+        std::env::set_var("ULBA_WORKERS", workers);
+    }
+}
+
+// --- minimal JSON emission ----------------------------------------------
+
+/// Escape a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON value (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Write a pre-rendered JSON document to `path` (creating parent
+/// directories), returning the path.
+pub fn write_json(path: &Path, document: &str) -> PathBuf {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).expect("cannot create JSON output directory");
+        }
+    }
+    let mut f = fs::File::create(path).expect("cannot create JSON file");
+    writeln!(f, "{document}").expect("write JSON");
+    path.to_path_buf()
 }
 
 /// PE counts selected on the command line (`--ranks 64,256,1024`), if any;
@@ -146,6 +219,24 @@ mod tests {
         std::env::set_var("ULBA_TEST_KNOB", "42");
         assert_eq!(env_usize("ULBA_TEST_KNOB", 7), 42);
         assert_eq!(env_usize("ULBA_TEST_KNOB_MISSING", 7), 7);
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_write_roundtrip() {
+        let dir = std::env::temp_dir().join("ulba-test-json");
+        let path = dir.join("nested").join("out.json");
+        let written = write_json(&path, "{\"ok\": true}");
+        let content = std::fs::read_to_string(written).unwrap();
+        assert_eq!(content, "{\"ok\": true}\n");
     }
 
     #[test]

@@ -174,6 +174,9 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
     if let Some(stack_size) = cfg.stack_size {
         run_cfg = run_cfg.with_stack_size(stack_size);
     }
+    if let Some(workers) = cfg.workers {
+        run_cfg = run_cfg.with_workers(workers);
+    }
 
     let report = run(run_cfg, |mut ctx| {
         let geometry = &geometry;

@@ -89,13 +89,18 @@ pub struct ErosionConfig {
     pub omega: f64,
     /// Execution backend of the SPMD runtime. `None` defers to the runtime
     /// default (the `ULBA_BACKEND` environment variable, falling back to
-    /// threaded). Use [`Backend::Sequential`] for large `P` — it needs no
-    /// OS threads and scales to tens of thousands of ranks.
+    /// threaded). Use [`Backend::Sequential`] or [`Backend::Parallel`] for
+    /// large `P` — neither needs one OS thread per rank, so both scale to
+    /// tens of thousands of ranks (parallel additionally uses all cores).
     pub backend: Option<Backend>,
     /// Per-rank thread stack size in bytes for the threaded backend
-    /// (`None` = runtime default of 2 MiB). Ignored by the sequential
-    /// backend.
+    /// (`None` = runtime default of 2 MiB). Ignored by the cooperative
+    /// backends.
     pub stack_size: Option<usize>,
+    /// Worker threads of the parallel backend (`None` = runtime default:
+    /// the `ULBA_WORKERS` environment variable, falling back to all
+    /// available cores). Ignored by the other backends.
+    pub workers: Option<usize>,
 }
 
 impl ErosionConfig {
@@ -127,6 +132,7 @@ impl ErosionConfig {
             omega: 1.0e9,
             backend: None,
             stack_size: None,
+            workers: None,
         }
     }
 
@@ -202,6 +208,9 @@ impl ErosionConfig {
         if self.stack_size == Some(0) {
             return Err("stack_size must be positive when set".into());
         }
+        if self.workers == Some(0) {
+            return Err("workers must be positive when set (None = all cores)".into());
+        }
         Ok(())
     }
 
@@ -276,6 +285,9 @@ mod tests {
         let mut c = ErosionConfig::tiny(4, 1);
         c.stack_size = Some(0);
         assert!(c.validate().is_err());
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.workers = Some(0);
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -284,6 +296,9 @@ mod tests {
         assert_eq!(c.backend, None, "presets defer to the runtime default");
         c.backend = Some(Backend::Sequential);
         c.stack_size = Some(256 * 1024);
+        c.validate().unwrap();
+        c.backend = Some(Backend::Parallel);
+        c.workers = Some(2);
         c.validate().unwrap();
     }
 }

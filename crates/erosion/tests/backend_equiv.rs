@@ -1,9 +1,9 @@
 //! Cross-backend equivalence: the threaded (one OS thread per rank,
-//! blocking rendezvous) and sequential (single-threaded lockstep scheduler)
-//! backends must produce **bit-identical** experiment results — same
-//! virtual makespan, same per-rank clocks and time accounting, same
-//! iteration statistics, same LB activations — for the full erosion
-//! application, not just micro-programs.
+//! blocking rendezvous), sequential (single-threaded lockstep scheduler)
+//! and parallel (work-stealing worker pool) backends must produce
+//! **bit-identical** experiment results — same virtual makespan, same
+//! per-rank clocks and time accounting, same iteration statistics, same LB
+//! activations — for the full erosion application, not just micro-programs.
 
 use proptest::prelude::*;
 use ulba_core::gossip::GossipMode;
@@ -11,53 +11,64 @@ use ulba_core::policy::LbPolicy;
 use ulba_erosion::{run_erosion, ErosionConfig, ExperimentResult};
 use ulba_runtime::Backend;
 
-/// Run `cfg` on the given backend.
+/// Run `cfg` on the given backend (the parallel backend with an explicit
+/// small worker count, so the test is meaningful on a single-core machine).
 fn on_backend(cfg: &ErosionConfig, backend: Backend) -> ExperimentResult {
     let mut cfg = cfg.clone();
     cfg.backend = Some(backend);
+    if backend == Backend::Parallel {
+        cfg.workers = Some(3);
+    }
     run_erosion(&cfg)
 }
 
 /// Assert that two experiment results are identical down to the last f64
 /// bit.
-fn assert_bit_identical(threaded: &ExperimentResult, sequential: &ExperimentResult) {
+fn assert_bit_identical(reference: &ExperimentResult, other: &ExperimentResult, backend: Backend) {
     assert_eq!(
-        threaded.makespan.to_bits(),
-        sequential.makespan.to_bits(),
-        "makespan diverged: {} vs {}",
-        threaded.makespan,
-        sequential.makespan
+        reference.makespan.to_bits(),
+        other.makespan.to_bits(),
+        "{backend}: makespan diverged: {} vs {}",
+        reference.makespan,
+        other.makespan
     );
-    assert_eq!(threaded.lb_calls, sequential.lb_calls);
-    assert_eq!(threaded.lb_iterations, sequential.lb_iterations);
-    assert_eq!(threaded.mean_utilization.to_bits(), sequential.mean_utilization.to_bits());
-    assert_eq!(threaded.final_total_weight, sequential.final_total_weight);
-    assert_eq!(threaded.total_eroded, sequential.total_eroded);
-    assert_eq!(threaded.rank_metrics.len(), sequential.rank_metrics.len());
-    for (rank, (a, b)) in threaded.rank_metrics.iter().zip(&sequential.rank_metrics).enumerate() {
-        assert_eq!(a.busy.to_bits(), b.busy.to_bits(), "rank {rank} busy");
-        assert_eq!(a.comm.to_bits(), b.comm.to_bits(), "rank {rank} comm");
-        assert_eq!(a.lb.to_bits(), b.lb.to_bits(), "rank {rank} lb");
-        assert_eq!(a.idle.to_bits(), b.idle.to_bits(), "rank {rank} idle");
+    assert_eq!(reference.lb_calls, other.lb_calls, "{backend}");
+    assert_eq!(reference.lb_iterations, other.lb_iterations, "{backend}");
+    assert_eq!(reference.mean_utilization.to_bits(), other.mean_utilization.to_bits(), "{backend}");
+    assert_eq!(reference.final_total_weight, other.final_total_weight, "{backend}");
+    assert_eq!(reference.total_eroded, other.total_eroded, "{backend}");
+    assert_eq!(reference.rank_metrics.len(), other.rank_metrics.len(), "{backend}");
+    for (rank, (a, b)) in reference.rank_metrics.iter().zip(&other.rank_metrics).enumerate() {
+        assert_eq!(a.busy.to_bits(), b.busy.to_bits(), "{backend}: rank {rank} busy");
+        assert_eq!(a.comm.to_bits(), b.comm.to_bits(), "{backend}: rank {rank} comm");
+        assert_eq!(a.lb.to_bits(), b.lb.to_bits(), "{backend}: rank {rank} lb");
+        assert_eq!(a.idle.to_bits(), b.idle.to_bits(), "{backend}: rank {rank} idle");
     }
-    assert_eq!(threaded.iterations.len(), sequential.iterations.len());
-    for (a, b) in threaded.iterations.iter().zip(&sequential.iterations) {
-        assert_eq!(a.iter, b.iter);
-        assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits(), "iteration {}", a.iter);
-        assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
-        assert_eq!(a.lb_active, b.lb_active);
+    assert_eq!(reference.iterations.len(), other.iterations.len(), "{backend}");
+    for (a, b) in reference.iterations.iter().zip(&other.iterations) {
+        assert_eq!(a.iter, b.iter, "{backend}");
+        assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits(), "{backend}: iteration {}", a.iter);
+        assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits(), "{backend}");
+        assert_eq!(a.lb_active, b.lb_active, "{backend}");
+    }
+}
+
+/// Compare every non-threaded backend against the threaded reference.
+fn assert_backends_equivalent(cfg: &ErosionConfig) {
+    let reference = on_backend(cfg, Backend::Threaded);
+    for backend in [Backend::Sequential, Backend::Parallel] {
+        let other = on_backend(cfg, backend);
+        assert_bit_identical(&reference, &other, backend);
     }
 }
 
 /// The acceptance-criterion case: a 128-rank erosion run with LB activity
-/// must be bit-identical across backends.
+/// must be bit-identical across all three backends.
 #[test]
 fn equivalent_at_128_ranks() {
     let mut cfg = ErosionConfig::tiny(128, 4);
     cfg.iterations = 30;
-    let threaded = on_backend(&cfg, Backend::Threaded);
-    let sequential = on_backend(&cfg, Backend::Sequential);
-    assert_bit_identical(&threaded, &sequential);
+    assert_backends_equivalent(&cfg);
 }
 
 /// Both LB policies and a standard trigger config at a mid-size P.
@@ -69,9 +80,11 @@ fn equivalent_under_both_policies() {
         cfg.iterations = 80;
         cfg.initial_lb_cost_factor = 0.05; // make the trigger actually fire
         let threaded = on_backend(&cfg, Backend::Threaded);
-        let sequential = on_backend(&cfg, Backend::Sequential);
         assert!(threaded.lb_calls > 0 || matches!(cfg.policy, LbPolicy::Standard));
-        assert_bit_identical(&threaded, &sequential);
+        for backend in [Backend::Sequential, Backend::Parallel] {
+            let other = on_backend(&cfg, backend);
+            assert_bit_identical(&threaded, &other, backend);
+        }
     }
 }
 
@@ -79,7 +92,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Randomized erosion configurations: ranks, rocks, iterations, seed,
-    /// policy, gossip mode, anticipation — always bit-identical.
+    /// policy, gossip mode, anticipation — always bit-identical on all
+    /// three backends.
     #[test]
     fn equivalent_on_random_configs(
         ranks in 2usize..12,
@@ -100,8 +114,6 @@ proptest! {
         } else {
             GossipMode::RandomPush { fanout: 2 }
         };
-        let threaded = on_backend(&cfg, Backend::Threaded);
-        let sequential = on_backend(&cfg, Backend::Sequential);
-        assert_bit_identical(&threaded, &sequential);
+        assert_backends_equivalent(&cfg);
     }
 }

@@ -7,12 +7,13 @@
 //!
 //! Operations that synchronize with other ranks are `async`: on the
 //! threaded backend they block the rank's OS thread and resolve in a single
-//! poll, while on the sequential backend they suspend the rank's future so
-//! the cooperative scheduler can interleave thousands of ranks on one
-//! thread. The collective *semantics* — rank-indexed value vectors, clock
-//! maximum, cost model charges, combine folds — are pure functions over the
-//! deposited values and are shared by both backends, so a program's
-//! [`RankMetrics`] and clocks are bit-identical regardless of backend.
+//! poll, while on the cooperative backends (sequential and parallel) they
+//! suspend the rank's future — parking its waker in the hub/mailbox — so a
+//! scheduler can interleave thousands of ranks over few threads. The
+//! collective *semantics* — rank-indexed value vectors, clock maximum, cost
+//! model charges, combine folds — are pure functions over the deposited
+//! values and are shared by every backend, so a program's [`RankMetrics`]
+//! and clocks are bit-identical regardless of backend.
 
 use crate::cost::MachineSpec;
 use crate::engine::RunShared;
@@ -365,7 +366,11 @@ impl Drop for SpmdCtx {
 }
 
 /// Cooperative-mode rendezvous: deposit once the previous round is drained,
-/// then resolve when the round completes.
+/// then resolve when the round completes. Every `Pending` return leaves the
+/// task's waker parked in the hub, so a wake-driven executor (the parallel
+/// backend) re-polls exactly when the blocking state transition happens;
+/// the sequential scheduler passes a no-op waker and re-polls by
+/// round-robin instead.
 struct ExchangeFuture<T> {
     shared: Arc<RunShared>,
     rank: usize,
@@ -380,19 +385,19 @@ impl<T> Unpin for ExchangeFuture<T> {}
 impl<T: Clone + Send + Sync + 'static> Future for ExchangeFuture<T> {
     type Output = ExchangeRound<T>;
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
         if let Some((value, clock)) = this.pending.take() {
-            match this.shared.hub.try_deposit(this.rank, this.op, value, clock) {
+            match this.shared.hub.poll_deposit(this.rank, this.op, value, clock, cx.waker()) {
                 Ok(()) => this.shared.note_progress(),
                 Err(value) => {
-                    // Previous round not fully drained yet: retry next poll.
+                    // Previous round not fully drained yet: retry when woken.
                     this.pending = Some((value, clock));
                     return Poll::Pending;
                 }
             }
         }
-        match this.shared.hub.try_collect::<T>(this.op) {
+        match this.shared.hub.poll_collect::<T>(this.rank, this.op, cx.waker()) {
             Some(round) => {
                 this.shared.note_progress();
                 Poll::Ready(round)
@@ -402,7 +407,8 @@ impl<T: Clone + Send + Sync + 'static> Future for ExchangeFuture<T> {
     }
 }
 
-/// Cooperative-mode receive: resolves once a matching message is posted.
+/// Cooperative-mode receive: resolves once a matching message is posted
+/// (the posting rank wakes the parked receiver).
 struct RecvFuture<T> {
     shared: Arc<RunShared>,
     me: usize,
@@ -416,9 +422,9 @@ impl<T> Unpin for RecvFuture<T> {}
 impl<T: Send + 'static> Future for RecvFuture<T> {
     type Output = Received<T>;
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        match this.shared.mail.try_recv::<T>(this.me, this.from, this.tag) {
+        match this.shared.mail.poll_recv::<T>(this.me, this.from, this.tag, cx.waker()) {
             Some(received) => {
                 this.shared.note_progress();
                 Poll::Ready(received)

@@ -11,8 +11,13 @@
 //!   polls every rank's program slice-by-slice between synchronization
 //!   points. No OS threads, no blocking; scales to tens of thousands of
 //!   ranks with **identical** [`RunReport`] output.
+//! * [`Backend::Parallel`] — a work-stealing pool of `M` worker threads
+//!   ([`RunConfig::workers`], default: all cores) driving all `N` rank
+//!   futures; blocked ranks park wakers in the hub/mailbox and are
+//!   re-queued on wake-up. Sequential's scale *and* threaded's
+//!   parallelism.
 //!
-//! Both backends drive the same [`crate::ctx::SpmdCtx`] accounting and the
+//! All backends drive the same [`crate::ctx::SpmdCtx`] accounting and the
 //! same [`crate::hub::Hub`]/[`crate::mailbox::MailboxSet`] state machines;
 //! only the waiting strategy differs (block vs. suspend), so a program's
 //! virtual-time behaviour is bit-identical across backends.
@@ -42,12 +47,18 @@ pub enum Backend {
     /// Best for large `P` (no thread-count limits) and for deterministic
     /// debugging.
     Sequential,
+    /// Work-stealing pool of [`RunConfig::workers`] threads driving all
+    /// rank futures; blocked ranks are woken by the deposit/post that
+    /// unblocks them. Best when rank bodies do real CPU work *and* `P` is
+    /// large: all cores stay busy without one thread per rank.
+    Parallel,
 }
 
 impl Backend {
-    /// Read the `ULBA_BACKEND` environment variable (`threaded` or
-    /// `sequential`, mirroring the `ULBA_QUICK` convention). Returns `None`
-    /// when unset; unknown values warn once per process and are ignored.
+    /// Read the `ULBA_BACKEND` environment variable (`threaded`,
+    /// `sequential` or `parallel`, mirroring the `ULBA_QUICK` convention).
+    /// Returns `None` when unset; unknown values warn once per process and
+    /// are ignored.
     pub fn from_env() -> Option<Backend> {
         static WARN_ONCE: std::sync::Once = std::sync::Once::new();
         let raw = std::env::var("ULBA_BACKEND").ok()?;
@@ -57,7 +68,7 @@ impl Backend {
                 WARN_ONCE.call_once(|| {
                     eprintln!(
                         "ulba-runtime: ignoring unknown ULBA_BACKEND value `{raw}` \
-                         (expected `threaded` or `sequential`)"
+                         (expected `threaded`, `sequential` or `parallel`)"
                     );
                 });
                 None
@@ -72,6 +83,7 @@ impl std::str::FromStr for Backend {
         match s.to_ascii_lowercase().as_str() {
             "threaded" | "threads" | "thread" => Ok(Backend::Threaded),
             "sequential" | "seq" => Ok(Backend::Sequential),
+            "parallel" | "par" | "pool" => Ok(Backend::Parallel),
             _ => Err(()),
         }
     }
@@ -82,6 +94,7 @@ impl std::fmt::Display for Backend {
         f.write_str(match self {
             Backend::Threaded => "threaded",
             Backend::Sequential => "sequential",
+            Backend::Parallel => "parallel",
         })
     }
 }
@@ -102,6 +115,10 @@ pub struct RunConfig {
     /// Execution backend. Defaults to the `ULBA_BACKEND` environment
     /// variable, falling back to [`Backend::Threaded`].
     pub backend: Backend,
+    /// Worker threads of the parallel backend; `0` (the default) means the
+    /// machine's available parallelism. Defaults to the `ULBA_WORKERS`
+    /// environment variable. Ignored by the other backends.
+    pub workers: usize,
 }
 
 impl RunConfig {
@@ -113,6 +130,7 @@ impl RunConfig {
             stack_size: 2 * 1024 * 1024,
             tracer: None,
             backend: Backend::from_env().unwrap_or(Backend::Threaded),
+            workers: std::env::var("ULBA_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0),
         }
     }
 
@@ -139,6 +157,13 @@ impl RunConfig {
         self.stack_size = bytes;
         self
     }
+
+    /// Set the worker-thread count of the parallel backend (`0` = all
+    /// available cores; overrides `ULBA_WORKERS`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
 }
 
 /// A structured run failure (instead of a panic deep inside the engine).
@@ -156,6 +181,17 @@ pub enum RunError {
         /// The underlying OS error.
         source: std::io::Error,
     },
+    /// The program can never finish: some ranks are permanently blocked
+    /// (a collective not every rank joins, or a `recv` with no matching
+    /// send). Detected by the sequential and parallel backends — the
+    /// threaded backend hangs in this situation, like a real MPI job.
+    /// [`try_run`] surfaces this error; [`run`] panics on it.
+    Deadlock {
+        /// The permanently blocked ranks, in rank order.
+        blocked: Vec<usize>,
+        /// Total ranks in the run.
+        ranks: usize,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -163,6 +199,17 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::ThreadSpawn { rank, ranks, source } => {
                 write!(f, "failed to spawn the thread of rank {rank} (of {ranks}): {source}")
+            }
+            RunError::Deadlock { blocked, ranks } => {
+                write!(
+                    f,
+                    "deadlock: {} of {ranks} ranks are permanently blocked \
+                     (collective ordering bug, or a recv with no matching send); \
+                     blocked ranks {:?}{}",
+                    blocked.len(),
+                    &blocked[..blocked.len().min(8)],
+                    if blocked.len() > 8 { " …" } else { "" },
+                )
             }
         }
     }
@@ -172,6 +219,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::ThreadSpawn { source, .. } => Some(source),
+            RunError::Deadlock { .. } => None,
         }
     }
 }
@@ -271,59 +319,74 @@ impl RunShared {
 /// report. `body` is invoked once per rank with that rank's [`SpmdCtx`] and
 /// returns the rank's program as a future; operations that synchronize with
 /// other ranks (`recv`, `barrier`, collectives) are `async` and suspend at
-/// the synchronization point, which is what lets the sequential backend
-/// interleave thousands of ranks on one thread.
+/// the synchronization point, which is what lets the cooperative backends
+/// interleave thousands of ranks over few threads (rank futures migrate
+/// between the parallel backend's workers, hence the `Send` bound).
 ///
 /// Panics in any rank propagate after the run is wound down (on the
 /// threaded backend, the panic payload of the lowest-ranked failing thread
 /// is resumed). If the threaded backend cannot spawn its rank threads (OS
 /// thread limits at large `P`), the run transparently falls back to the
-/// sequential backend — use [`try_run`] to observe the failure instead.
+/// sequential backend — use [`try_run`] to observe the failure instead. A
+/// deadlocked program (detected by the sequential and parallel backends)
+/// panics with the blocked ranks; use [`try_run`] to observe it as a
+/// [`RunError::Deadlock`] instead.
 pub fn run<F, Fut>(config: RunConfig, body: F) -> RunReport
 where
     F: Fn(SpmdCtx) -> Fut + Sync,
-    Fut: Future<Output = ()>,
+    Fut: Future<Output = ()> + Send,
 {
     match config.backend {
-        Backend::Sequential => run_sequential(&config, &body),
         Backend::Threaded => {
             let shared = RunShared::new(&config);
             match exec::threaded::execute(&shared, &config, &body) {
                 Ok(()) => shared.build_report(),
                 Err(err) => {
                     eprintln!("ulba-runtime: {err}; falling back to the sequential backend");
-                    run_sequential(&config, &body)
+                    run_cooperative(&config, Backend::Sequential, &body)
+                        .unwrap_or_else(|err| panic!("{err}"))
                 }
             }
         }
+        backend => run_cooperative(&config, backend, &body).unwrap_or_else(|err| panic!("{err}")),
     }
 }
 
-/// Like [`run`], but reports backend failures as a structured [`RunError`]
-/// instead of falling back (the sequential backend cannot fail to start, so
-/// it always returns `Ok`).
+/// Like [`run`], but reports backend failures — thread-spawn exhaustion on
+/// the threaded backend, deadlock on the sequential/parallel backends — as
+/// a structured [`RunError`] instead of falling back or panicking.
 pub fn try_run<F, Fut>(config: RunConfig, body: F) -> Result<RunReport, RunError>
 where
     F: Fn(SpmdCtx) -> Fut + Sync,
-    Fut: Future<Output = ()>,
+    Fut: Future<Output = ()> + Send,
 {
     match config.backend {
-        Backend::Sequential => Ok(run_sequential(&config, &body)),
         Backend::Threaded => {
             let shared = RunShared::new(&config);
             exec::threaded::execute(&shared, &config, &body)?;
             Ok(shared.build_report())
         }
+        backend => run_cooperative(&config, backend, &body),
     }
 }
 
-fn run_sequential<F, Fut>(config: &RunConfig, body: &F) -> RunReport
+/// Run on one of the suspend-at-sync-points backends; both share the
+/// deadlock-reporting path.
+fn run_cooperative<F, Fut>(
+    config: &RunConfig,
+    backend: Backend,
+    body: &F,
+) -> Result<RunReport, RunError>
 where
-    F: Fn(SpmdCtx) -> Fut,
-    Fut: Future<Output = ()>,
+    F: Fn(SpmdCtx) -> Fut + Sync,
+    Fut: Future<Output = ()> + Send,
 {
     assert!(config.ranks >= 1, "need at least one rank");
     let shared = RunShared::new(config);
-    exec::sequential::execute(&shared, config, body);
-    shared.build_report()
+    match backend {
+        Backend::Sequential => exec::sequential::execute(&shared, config, body)?,
+        Backend::Parallel => exec::parallel::execute(&shared, config, body)?,
+        Backend::Threaded => unreachable!("threaded is not a cooperative backend"),
+    }
+    Ok(shared.build_report())
 }

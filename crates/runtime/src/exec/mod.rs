@@ -4,7 +4,7 @@
 //! drive each rank's program future to completion, and get out of the way —
 //! all virtual-time accounting, collective semantics, and message matching
 //! live in the backend-agnostic [`crate::hub`], [`crate::mailbox`] and
-//! [`crate::ctx`] layers. Two strategies are provided:
+//! [`crate::ctx`] layers. Three strategies are provided:
 //!
 //! * [`threaded`] — one OS thread per rank; ctx operations block the thread
 //!   on condvars, so each rank future completes in a single poll.
@@ -12,6 +12,10 @@
 //!   operations return [`std::task::Poll::Pending`] at synchronization
 //!   points and the scheduler round-robins all ranks until everyone
 //!   finishes.
+//! * [`parallel`] — a work-stealing pool of `M` worker threads driving all
+//!   `N` rank futures; blocked ranks park their wakers in the hub/mailbox
+//!   and are re-queued by the deposit/post that unblocks them.
 
+pub(crate) mod parallel;
 pub(crate) mod sequential;
 pub(crate) mod threaded;

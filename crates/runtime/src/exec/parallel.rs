@@ -1,0 +1,405 @@
+//! The parallel backend: a work-stealing thread-pool executor.
+//!
+//! `M` worker threads (the calling thread is worker 0) drive all `N` rank
+//! futures. Each worker owns a run queue; it pops work from its own queue
+//! first, then from the shared injector, and finally steals half of another
+//! worker's queue. Unlike the sequential scheduler's round-robin, blocked
+//! ranks are *not* re-polled: a rank that suspends at a synchronization
+//! point parks its [`Waker`] in the hub/mailbox, and the deposit/post that
+//! unblocks it pushes it back onto the waking worker's queue. This is what
+//! makes the backend scale in both directions at once — thousands of ranks
+//! per thread (like sequential) *and* all cores busy (like threaded).
+//!
+//! Task lifecycle: each rank future carries an atomic state so that a task
+//! is never in a run queue twice and never polled by two workers at once.
+//! A wake during a poll sets [`NOTIFIED`], and the polling worker
+//! reschedules the task itself after `Poll::Pending` — the standard
+//! executor handshake that closes the wake-while-polling race.
+//!
+//! Deadlock detection is exact (not heuristic like the sequential
+//! backend's progress counter): wakes only originate from rank polls, so
+//! if every worker is idle, no task is queued, and unfinished tasks
+//! remain, no wake can ever arrive — the pool reports the blocked ranks as
+//! a [`RunError::Deadlock`] instead of sleeping forever.
+
+use crate::ctx::SpmdCtx;
+use crate::engine::{RunConfig, RunError, RunShared};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Task is blocked; not queued, not being polled. A wake moves it to
+/// [`SCHEDULED`] and enqueues it.
+const WAITING: u8 = 0;
+/// Task sits in exactly one run queue. Wakes are no-ops (a poll is coming).
+const SCHEDULED: u8 = 1;
+/// A worker is polling the task. A wake moves it to [`NOTIFIED`].
+const RUNNING: u8 = 2;
+/// Woken *during* its poll: the polling worker re-enqueues it if the poll
+/// returns `Pending`.
+const NOTIFIED: u8 = 3;
+/// Completed (or abandoned after a panic). Terminal.
+const DONE: u8 = 4;
+
+struct SleepState {
+    /// Workers currently parked (or about to park) on [`Pool::wakeup`].
+    idle: usize,
+    /// Tells workers to exit: the run completed, panicked, or deadlocked.
+    shutdown: bool,
+    /// Set when the pool shut down because no task could ever progress.
+    deadlocked: bool,
+}
+
+/// Scheduler state shared between workers and wakers. Holds task *indices*
+/// only — the futures themselves live on the [`execute`] stack frame (they
+/// may borrow from the caller), guarded per-task so stealing a task moves
+/// its future between threads through a mutex.
+struct Pool {
+    /// Per-worker run queues (owner pops the front; thieves steal half).
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Queue for wakes arriving from outside any pool worker.
+    injector: Mutex<VecDeque<usize>>,
+    states: Vec<AtomicU8>,
+    /// Unfinished tasks; 0 triggers shutdown.
+    remaining: AtomicUsize,
+    /// Live worker count (spawn failures reduce it).
+    workers: AtomicUsize,
+    sleep: Mutex<SleepState>,
+    wakeup: Condvar,
+}
+
+thread_local! {
+    /// `(pool, worker index)` of the pool worker running on this thread, so
+    /// wakes land on the waking worker's own queue (locality) instead of
+    /// the shared injector. `Weak` + restore-on-drop keeps nested runs
+    /// (a rank body calling [`crate::engine::run`] itself) correct.
+    static CURRENT_WORKER: RefCell<Option<(Weak<Pool>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Marks the current thread as worker `idx` of `pool` for the duration of
+/// the guard, restoring the previous registration on drop.
+struct WorkerRegistration {
+    previous: Option<(Weak<Pool>, usize)>,
+}
+
+impl WorkerRegistration {
+    fn enter(pool: &Arc<Pool>, idx: usize) -> Self {
+        let previous =
+            CURRENT_WORKER.with(|cw| cw.borrow_mut().replace((Arc::downgrade(pool), idx)));
+        Self { previous }
+    }
+}
+
+impl Drop for WorkerRegistration {
+    fn drop(&mut self) {
+        CURRENT_WORKER.with(|cw| *cw.borrow_mut() = self.previous.take());
+    }
+}
+
+struct TaskWaker {
+    pool: Arc<Pool>,
+    task: usize,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.pool.schedule(self.task);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.pool.schedule(self.task);
+    }
+}
+
+impl Pool {
+    fn new(workers: usize, tasks: usize) -> Self {
+        Self {
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            states: (0..tasks).map(|_| AtomicU8::new(SCHEDULED)).collect(),
+            remaining: AtomicUsize::new(tasks),
+            workers: AtomicUsize::new(workers),
+            sleep: Mutex::new(SleepState { idle: 0, shutdown: false, deadlocked: false }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Transition `task` towards a poll after a wake. Guarantees at most
+    /// one queue entry and one poller per task.
+    fn schedule(self: &Arc<Self>, task: usize) {
+        loop {
+            match self.states[task].load(Ordering::Acquire) {
+                WAITING => {
+                    if self.states[task]
+                        .compare_exchange(WAITING, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.push(task);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self.states[task]
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // SCHEDULED | NOTIFIED: a poll is already due. DONE: stale.
+                _ => return,
+            }
+        }
+    }
+
+    /// Enqueue a [`SCHEDULED`] task and rouse one sleeping worker.
+    fn push(self: &Arc<Self>, task: usize) {
+        let local = CURRENT_WORKER.with(|cw| {
+            cw.borrow().as_ref().and_then(|(pool, idx)| {
+                pool.upgrade().filter(|p| Arc::ptr_eq(p, self)).map(|_| *idx)
+            })
+        });
+        match local {
+            Some(worker) => self.locals[worker].lock().push_back(task),
+            None => self.injector.lock().push_back(task),
+        }
+        let sleep = self.sleep.lock();
+        if sleep.idle > 0 {
+            self.wakeup.notify_one();
+        }
+    }
+
+    /// Next task for worker `me`: own queue, then injector, then steal half
+    /// of the first non-empty sibling queue.
+    fn find_task(&self, me: usize) -> Option<usize> {
+        if let Some(task) = self.locals[me].lock().pop_front() {
+            return Some(task);
+        }
+        if let Some(task) = self.injector.lock().pop_front() {
+            return Some(task);
+        }
+        let n = self.locals.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            let stolen: Vec<usize> = {
+                let mut queue = self.locals[victim].lock();
+                let take = queue.len().div_ceil(2);
+                queue.drain(..take).collect()
+                // Victim lock released before touching our own queue, so
+                // two workers stealing from each other cannot deadlock.
+            };
+            if let Some((&first, rest)) = stolen.split_first() {
+                if !rest.is_empty() {
+                    self.locals[me].lock().extend(rest.iter().copied());
+                }
+                return Some(first);
+            }
+        }
+        None
+    }
+
+    fn has_queued(&self) -> bool {
+        !self.injector.lock().is_empty() || self.locals.iter().any(|q| !q.lock().is_empty())
+    }
+
+    /// Sleep until work may be available. Returns `false` when the worker
+    /// should exit (shutdown or deadlock).
+    fn park(&self) -> bool {
+        let mut sleep = self.sleep.lock();
+        sleep.idle += 1;
+        loop {
+            if sleep.shutdown {
+                sleep.idle -= 1;
+                return false;
+            }
+            if self.has_queued() {
+                sleep.idle -= 1;
+                return true;
+            }
+            if sleep.idle == self.workers.load(Ordering::Acquire)
+                && self.remaining.load(Ordering::Acquire) > 0
+            {
+                // Every worker is idle and nothing is queued, yet tasks
+                // remain: wakes only come from polls, and no poll is in
+                // flight, so no task can ever be woken again.
+                sleep.deadlocked = true;
+                sleep.shutdown = true;
+                sleep.idle -= 1;
+                self.wakeup.notify_all();
+                return false;
+            }
+            self.wakeup.wait(&mut sleep);
+        }
+    }
+
+    fn initiate_shutdown(&self) {
+        let mut sleep = self.sleep.lock();
+        sleep.shutdown = true;
+        self.wakeup.notify_all();
+    }
+}
+
+/// A rank future parked where any worker can poll it.
+type TaskSlot<Fut> = Mutex<Option<Pin<Box<Fut>>>>;
+
+/// First panic payload observed across workers (lowest task id wins, like
+/// the threaded backend's lowest-ranked failing thread).
+type PanicStore = Mutex<Option<(usize, Box<dyn Any + Send>)>>;
+
+fn run_task<Fut>(
+    pool: &Arc<Pool>,
+    task: usize,
+    slots: &[TaskSlot<Fut>],
+    wakers: &[Waker],
+    panics: &PanicStore,
+) where
+    Fut: Future<Output = ()> + Send,
+{
+    // The task came out of a queue, so its state is SCHEDULED; wakes from
+    // here until the poll finishes are folded into NOTIFIED.
+    pool.states[task].store(RUNNING, Ordering::Release);
+    let mut slot = slots[task].lock();
+    let Some(future) = slot.as_mut() else {
+        pool.states[task].store(DONE, Ordering::Release);
+        return;
+    };
+    let mut cx = Context::from_waker(&wakers[task]);
+    match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx))) {
+        Ok(Poll::Ready(())) => {
+            *slot = None;
+            drop(slot);
+            pool.states[task].store(DONE, Ordering::Release);
+            if pool.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                pool.initiate_shutdown();
+            }
+        }
+        Ok(Poll::Pending) => {
+            drop(slot);
+            if pool.states[task]
+                .compare_exchange(RUNNING, WAITING, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // Woken while polling: the wake was swallowed into
+                // NOTIFIED, so the re-poll is on us.
+                pool.states[task].store(SCHEDULED, Ordering::Release);
+                pool.push(task);
+            }
+        }
+        Err(payload) => {
+            // Drop the half-run future now (its ctx records what it had)
+            // and stop the whole pool; execute() re-raises the payload.
+            *slot = None;
+            drop(slot);
+            pool.states[task].store(DONE, Ordering::Release);
+            let mut first = panics.lock();
+            match first.as_ref() {
+                Some((prior, _)) if *prior <= task => {}
+                _ => *first = Some((task, payload)),
+            }
+            drop(first);
+            pool.initiate_shutdown();
+        }
+    }
+}
+
+fn worker_loop<Fut>(
+    pool: &Arc<Pool>,
+    me: usize,
+    slots: &[TaskSlot<Fut>],
+    wakers: &[Waker],
+    panics: &PanicStore,
+) where
+    Fut: Future<Output = ()> + Send,
+{
+    let _registration = WorkerRegistration::enter(pool, me);
+    loop {
+        while let Some(task) = pool.find_task(me) {
+            run_task(pool, task, slots, wakers, panics);
+        }
+        if !pool.park() {
+            return;
+        }
+    }
+}
+
+/// Worker count for a run: the explicit `RunConfig::workers` if nonzero,
+/// otherwise the machine's available parallelism; never more than `ranks`.
+fn effective_workers(config: &RunConfig) -> usize {
+    let requested = if config.workers > 0 {
+        config.workers
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    };
+    requested.clamp(1, config.ranks)
+}
+
+/// Drive all rank bodies to completion on a work-stealing pool. The calling
+/// thread is worker 0, so a pool is always functional even if no extra
+/// worker thread can be spawned.
+pub(crate) fn execute<F, Fut>(
+    shared: &Arc<RunShared>,
+    config: &RunConfig,
+    body: &F,
+) -> Result<(), RunError>
+where
+    F: Fn(SpmdCtx) -> Fut + Sync,
+    Fut: Future<Output = ()> + Send,
+{
+    let ranks = config.ranks;
+    let workers = effective_workers(config);
+    let pool = Arc::new(Pool::new(workers, ranks));
+    let slots: Vec<TaskSlot<Fut>> = (0..ranks)
+        .map(|rank| {
+            let ctx = SpmdCtx::new(rank, ranks, Arc::clone(shared), false, config.tracer.clone());
+            Mutex::new(Some(Box::pin(body(ctx))))
+        })
+        .collect();
+    // Seed the run queues round-robin; every worker starts with ~N/M ranks.
+    for rank in 0..ranks {
+        pool.locals[rank % workers].lock().push_back(rank);
+    }
+    // One waker per task for the whole run (polls and hub/mailbox parks
+    // only clone it), keeping Arc churn off the hottest scheduler path.
+    let wakers: Vec<Waker> = (0..ranks)
+        .map(|task| Waker::from(Arc::new(TaskWaker { pool: Arc::clone(&pool), task })))
+        .collect();
+    let panics: PanicStore = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for worker in 1..workers {
+            let spawned = std::thread::Builder::new()
+                .name(format!("ulba-worker-{worker}"))
+                .spawn_scoped(scope, {
+                    let pool = Arc::clone(&pool);
+                    let slots = &slots;
+                    let wakers = &wakers;
+                    let panics = &panics;
+                    move || worker_loop(&pool, worker, slots, wakers, panics)
+                });
+            if spawned.is_err() {
+                // Unlike the per-rank threaded backend, fewer workers only
+                // costs parallelism, never correctness: worker 0 (this
+                // thread) plus stealing cover the failed worker's queue.
+                pool.workers.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        worker_loop(&pool, 0, &slots, &wakers, &panics);
+    });
+
+    if let Some((_, payload)) = panics.into_inner() {
+        std::panic::resume_unwind(payload);
+    }
+    if pool.sleep.lock().deadlocked {
+        let blocked: Vec<usize> =
+            (0..ranks).filter(|&rank| pool.states[rank].load(Ordering::Acquire) != DONE).collect();
+        return Err(RunError::Deadlock { blocked, ranks });
+    }
+    Ok(())
+}

@@ -13,19 +13,24 @@
 //!
 //! Deadlock detection: a full pass in which no rank completed and no
 //! deposit/post/receive happened ([`RunShared::progress_count`] unchanged)
-//! means no rank can ever progress — the scheduler panics with a diagnostic
-//! instead of spinning forever (the blocking backend would hang in this
-//! situation, e.g. on a collective-ordering bug).
+//! means no rank can ever progress — the scheduler reports the blocked
+//! ranks as a structured [`RunError::Deadlock`] instead of spinning forever
+//! (the blocking backend would hang in this situation, e.g. on a
+//! collective-ordering bug).
 
 use crate::ctx::SpmdCtx;
-use crate::engine::{RunConfig, RunShared};
+use crate::engine::{RunConfig, RunError, RunShared};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Waker};
 
 /// Drive all rank bodies to completion on the calling thread.
-pub(crate) fn execute<F, Fut>(shared: &Arc<RunShared>, config: &RunConfig, body: &F)
+pub(crate) fn execute<F, Fut>(
+    shared: &Arc<RunShared>,
+    config: &RunConfig,
+    body: &F,
+) -> Result<(), RunError>
 where
     F: Fn(SpmdCtx) -> Fut,
     Fut: Future<Output = ()>,
@@ -38,7 +43,7 @@ where
     }
 
     // The scheduler re-polls by round-robin rather than by wake-up, so a
-    // no-op waker suffices.
+    // no-op waker suffices (the hub/mailbox park it and wake into nothing).
     let mut cx = Context::from_waker(Waker::noop());
     let mut remaining = ranks;
     while remaining > 0 {
@@ -54,11 +59,13 @@ where
         }
         remaining -= completed;
         if remaining > 0 && completed == 0 && shared.progress_count() == progress_before {
-            panic!(
-                "sequential backend stalled: {remaining} of {ranks} ranks are \
-                 permanently blocked (collective ordering bug, or a recv with \
-                 no matching send)"
-            );
+            let blocked: Vec<usize> = tasks
+                .iter()
+                .enumerate()
+                .filter_map(|(rank, slot)| slot.is_some().then_some(rank))
+                .collect();
+            return Err(RunError::Deadlock { blocked, ranks });
         }
     }
+    Ok(())
 }

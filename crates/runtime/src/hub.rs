@@ -10,16 +10,23 @@
 //!
 //! The hub itself is **backend-agnostic**: the state machine
 //! ([`HubState::deposit`] / [`HubState::collect`]) is pure bookkeeping over
-//! the deposited values, and the two execution backends drive it with
-//! different waiting strategies — the threaded backend blocks on a condvar
-//! ([`Hub::exchange`]), while the sequential backend polls the non-blocking
-//! [`Hub::try_deposit`] / [`Hub::try_collect`] pair from a cooperative
-//! scheduler and never blocks at all.
+//! the deposited values, and the execution backends drive it with different
+//! waiting strategies — the threaded backend blocks on a condvar
+//! ([`Hub::exchange`]), while the cooperative backends (sequential and
+//! parallel) poll the non-blocking [`Hub::poll_deposit`] /
+//! [`Hub::poll_collect`] pair and never block at all. A cooperative caller
+//! leaves its [`Waker`] behind whenever it cannot progress; the state
+//! transition that unblocks it — the round completing on the last deposit,
+//! or entry reopening on the last drain — wakes every parked waker, which
+//! is what lets the parallel backend sleep blocked ranks instead of
+//! spinning them (the sequential scheduler passes a no-op waker and keeps
+//! round-robining).
 
 use crate::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::sync::Arc;
+use std::task::Waker;
 
 /// Result of one exchange round: the rank-indexed values and the latest
 /// deposit clock (the virtual instant at which the collective can complete).
@@ -46,6 +53,11 @@ struct HubState {
     result: Option<Box<dyn Any + Send>>,
     result_max_clock: VirtualTime,
     departed: usize,
+    /// Wakers of cooperatively scheduled ranks parked at the rendezvous
+    /// (waiting either for the round to complete or for entry to reopen),
+    /// indexed by rank. A rank runs one operation at a time, so one slot
+    /// per rank suffices.
+    wakers: Vec<Option<Waker>>,
 }
 
 impl HubState {
@@ -130,6 +142,12 @@ impl HubState {
         }
         Some((ExchangeRound { values: arc, max_clock }, last_out))
     }
+
+    /// Take every parked waker (to be woken after the state lock is
+    /// released).
+    fn take_wakers(&mut self) -> Vec<Waker> {
+        self.wakers.iter_mut().filter_map(Option::take).collect()
+    }
 }
 
 /// Rendezvous coordinator shared by all ranks of one run.
@@ -154,6 +172,7 @@ impl Hub {
                 result: None,
                 result_max_clock: VirtualTime::ZERO,
                 departed: 0,
+                wakers: (0..size).map(|_| None).collect(),
             }),
             cond: Condvar::new(),
         }
@@ -185,9 +204,11 @@ impl Hub {
             self.cond.wait(&mut st);
         }
         st.deposit(self.size, rank, op_name, value, clock);
+        let mut to_wake = Vec::new();
         if st.result.is_some() {
             // Last to arrive completed the round: release the waiters.
             self.cond.notify_all();
+            to_wake = st.take_wakers();
         } else {
             while st.result.is_none() {
                 self.cond.wait(&mut st);
@@ -199,38 +220,67 @@ impl Hub {
         if last_out {
             // Release the entry-guard waiters of the next round.
             self.cond.notify_all();
+            to_wake.extend(st.take_wakers());
         }
         drop(st);
+        for waker in to_wake {
+            waker.wake();
+        }
         round
     }
 
-    /// Non-blocking deposit (the sequential backend's waiting strategy):
+    /// Non-blocking deposit (the cooperative backends' waiting strategy):
     /// returns `Err(value)` when the previous round has not been fully
-    /// drained yet, so the caller can retry on its next poll.
-    pub(crate) fn try_deposit<T: Send + Sync + 'static>(
+    /// drained yet, parking `waker` to be woken once entry reopens. On the
+    /// deposit that completes the round, every parked rank is woken.
+    pub(crate) fn poll_deposit<T: Send + Sync + 'static>(
         &self,
         rank: usize,
         op_name: &'static str,
         value: T,
         clock: VirtualTime,
+        waker: &Waker,
     ) -> Result<(), T> {
         assert!(rank < self.size, "rank {rank} out of range (size {})", self.size);
         let mut st = self.state.lock();
         if !st.entry_open() {
+            st.wakers[rank] = Some(waker.clone());
             return Err(value);
         }
         st.deposit(self.size, rank, op_name, value, clock);
+        let to_wake = if st.result.is_some() { st.take_wakers() } else { Vec::new() };
+        drop(st);
+        for parked in to_wake {
+            parked.wake();
+        }
         Ok(())
     }
 
     /// Non-blocking collect: `None` while ranks are still missing from the
-    /// round. Must be called at most once (until `Some`) per deposit.
-    pub(crate) fn try_collect<T: Send + Sync + 'static>(
+    /// round (parking `waker` until the round completes). Must be called at
+    /// most once (until `Some`) per deposit. The last rank to drain reopens
+    /// entry and wakes every rank parked on the entry guard.
+    pub(crate) fn poll_collect<T: Send + Sync + 'static>(
         &self,
+        rank: usize,
         op_name: &'static str,
+        waker: &Waker,
     ) -> Option<ExchangeRound<T>> {
         let mut st = self.state.lock();
-        st.collect(self.size, op_name).map(|(round, _)| round)
+        match st.collect(self.size, op_name) {
+            Some((round, last_out)) => {
+                let to_wake = if last_out { st.take_wakers() } else { Vec::new() };
+                drop(st);
+                for parked in to_wake {
+                    parked.wake();
+                }
+                Some(round)
+            }
+            None => {
+                st.wakers[rank] = Some(waker.clone());
+                None
+            }
+        }
     }
 }
 
@@ -325,33 +375,67 @@ mod tests {
     #[test]
     fn nonblocking_protocol_completes_a_round() {
         let hub = Hub::new(3);
+        let noop = Waker::noop();
         for rank in 0..3usize {
             assert!(hub
-                .try_deposit(rank, "poll", rank as u32, VirtualTime::from_secs(rank as f64))
+                .poll_deposit(rank, "poll", rank as u32, VirtualTime::from_secs(rank as f64), noop)
                 .is_ok());
             if rank < 2 {
-                assert!(hub.try_collect::<u32>("poll").is_none(), "round incomplete");
+                assert!(hub.poll_collect::<u32>(rank, "poll", noop).is_none(), "round incomplete");
             }
         }
-        for _ in 0..3 {
-            let round = hub.try_collect::<u32>("poll").expect("round complete");
+        for rank in 0..3usize {
+            let round = hub.poll_collect::<u32>(rank, "poll", noop).expect("round complete");
             assert_eq!(*round.values, vec![0, 1, 2]);
             assert_eq!(round.max_clock.as_secs(), 2.0);
         }
         // Fully drained: the next round may start.
-        assert!(hub.try_deposit(0, "poll", 9u32, VirtualTime::ZERO).is_ok());
+        assert!(hub.poll_deposit(0, "poll", 9u32, VirtualTime::ZERO, noop).is_ok());
     }
 
     #[test]
     fn nonblocking_deposit_rejected_until_drained() {
         let hub = Hub::new(2);
-        assert!(hub.try_deposit(0, "guard", 1u8, VirtualTime::ZERO).is_ok());
-        assert!(hub.try_deposit(1, "guard", 2u8, VirtualTime::ZERO).is_ok());
+        let noop = Waker::noop();
+        assert!(hub.poll_deposit(0, "guard", 1u8, VirtualTime::ZERO, noop).is_ok());
+        assert!(hub.poll_deposit(1, "guard", 2u8, VirtualTime::ZERO, noop).is_ok());
         // Round complete but undrained: rank 0 cannot enter the next round.
-        let _ = hub.try_collect::<u8>("guard").expect("complete");
-        assert_eq!(hub.try_deposit(0, "guard", 3u8, VirtualTime::ZERO), Err(3u8));
-        let _ = hub.try_collect::<u8>("guard").expect("complete");
+        let _ = hub.poll_collect::<u8>(0, "guard", noop).expect("complete");
+        assert_eq!(hub.poll_deposit(0, "guard", 3u8, VirtualTime::ZERO, noop), Err(3u8));
+        let _ = hub.poll_collect::<u8>(1, "guard", noop).expect("complete");
         // Now both departed: entry reopens.
-        assert!(hub.try_deposit(0, "guard", 3u8, VirtualTime::ZERO).is_ok());
+        assert!(hub.poll_deposit(0, "guard", 3u8, VirtualTime::ZERO, noop).is_ok());
+    }
+
+    #[test]
+    fn wakers_fire_on_round_completion_and_entry_reopen() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::task::Wake;
+
+        struct CountingWaker(Arc<AtomicUsize>);
+        impl Wake for CountingWaker {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let waker = std::task::Waker::from(Arc::new(CountingWaker(Arc::clone(&wakes))));
+        let hub = Hub::new(2);
+
+        // Rank 0 deposits and parks on collect; rank 1's completing deposit
+        // must wake it.
+        assert!(hub.poll_deposit(0, "wake", 1u8, VirtualTime::ZERO, &waker).is_ok());
+        assert!(hub.poll_collect::<u8>(0, "wake", &waker).is_none());
+        assert_eq!(wakes.load(Ordering::SeqCst), 0);
+        assert!(hub.poll_deposit(1, "wake", 2u8, VirtualTime::ZERO, Waker::noop()).is_ok());
+        assert_eq!(wakes.load(Ordering::SeqCst), 1, "round completion wakes parked ranks");
+
+        // Rank 0 drains and immediately parks on the next round's entry
+        // guard; rank 1's final drain must wake it.
+        let _ = hub.poll_collect::<u8>(0, "wake", Waker::noop()).expect("complete");
+        assert_eq!(hub.poll_deposit(0, "wake", 3u8, VirtualTime::ZERO, &waker), Err(3u8));
+        let _ = hub.poll_collect::<u8>(1, "wake", Waker::noop()).expect("complete");
+        assert_eq!(wakes.load(Ordering::SeqCst), 2, "entry reopening wakes parked ranks");
     }
 }

@@ -26,12 +26,20 @@
 //!   synchronization points. No threads and no blocking, so it scales to
 //!   tens of thousands of ranks (`P ≥ 16384`) and detects deadlocks
 //!   instead of hanging.
+//! * [`Backend::Parallel`] — a work-stealing pool of `M` worker threads
+//!   ([`RunConfig::with_workers`], `ULBA_WORKERS`; default: all cores)
+//!   driving all rank futures; ranks blocked at a synchronization point
+//!   park their wakers in the hub/mailbox and are re-queued by the
+//!   deposit/post that unblocks them. Combines sequential's scale with
+//!   threaded's parallelism: `P = 16384` runs multi-core.
 //!
-//! Both backends drive the same accounting, collective semantics, and
+//! All backends drive the same accounting, collective semantics, and
 //! message matching, so they produce **bit-identical** [`RunReport`]s.
 //! If the threaded backend cannot spawn its rank threads (large `P`),
 //! [`run`] transparently falls back to the sequential backend;
-//! [`try_run`] surfaces the failure as a [`RunError`] instead.
+//! [`try_run`] surfaces the failure as a [`RunError`] instead. Deadlocked
+//! programs are detected by the sequential and parallel backends and
+//! reported as [`RunError::Deadlock`] (or a panic from [`run`]).
 //!
 //! # Example
 //!
@@ -316,19 +324,22 @@ mod tests {
     #[test]
     fn backends_produce_bit_identical_reports() {
         let threaded = run(RunConfig::new(9).with_backend(Backend::Threaded), mixed_body);
-        let sequential = run(RunConfig::new(9).with_backend(Backend::Sequential), mixed_body);
-        assert_eq!(
-            threaded.makespan().as_secs().to_bits(),
-            sequential.makespan().as_secs().to_bits()
-        );
-        assert_eq!(threaded.rank_metrics, sequential.rank_metrics);
-        assert_eq!(threaded.final_clocks, sequential.final_clocks);
-        assert_eq!(threaded.lb_iterations, sequential.lb_iterations);
-        assert_eq!(threaded.iterations.len(), sequential.iterations.len());
-        for (a, b) in threaded.iterations.iter().zip(&sequential.iterations) {
-            assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits());
-            assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
-            assert_eq!(a.lb_active, b.lb_active);
+        for backend in [Backend::Sequential, Backend::Parallel] {
+            let other = run(RunConfig::new(9).with_backend(backend), mixed_body);
+            assert_eq!(
+                threaded.makespan().as_secs().to_bits(),
+                other.makespan().as_secs().to_bits(),
+                "{backend} makespan"
+            );
+            assert_eq!(threaded.rank_metrics, other.rank_metrics, "{backend}");
+            assert_eq!(threaded.final_clocks, other.final_clocks, "{backend}");
+            assert_eq!(threaded.lb_iterations, other.lb_iterations, "{backend}");
+            assert_eq!(threaded.iterations.len(), other.iterations.len(), "{backend}");
+            for (a, b) in threaded.iterations.iter().zip(&other.iterations) {
+                assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits());
+                assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
+                assert_eq!(a.lb_active, b.lb_active);
+            }
         }
     }
 
@@ -360,12 +371,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sequential backend stalled")]
+    #[should_panic(expected = "permanently blocked")]
     fn sequential_detects_deadlock() {
         run(RunConfig::new(2).with_backend(Backend::Sequential), |mut ctx| async move {
             if ctx.rank() == 0 {
                 // Waits for a message nobody ever sends.
                 let _: u8 = ctx.recv(1, 42).await;
+            }
+        });
+    }
+
+    /// The satellite regression: a mismatched collective (one rank never
+    /// joins the barrier) must surface as a structured
+    /// [`RunError::Deadlock`] through [`try_run`] naming the stuck ranks —
+    /// on both deadlock-detecting backends, which share one reporting path.
+    #[test]
+    fn try_run_reports_deadlock_on_mismatched_collective() {
+        for backend in [Backend::Sequential, Backend::Parallel] {
+            let config = RunConfig::new(4).with_backend(backend).with_workers(2);
+            let result = try_run(config, |mut ctx| async move {
+                if ctx.rank() != 0 {
+                    // Rank 0 never joins: the barrier can never complete.
+                    ctx.barrier().await;
+                }
+            });
+            match result {
+                Err(RunError::Deadlock { blocked, ranks }) => {
+                    assert_eq!(ranks, 4, "{backend}");
+                    assert_eq!(blocked, vec![1, 2, 3], "{backend}");
+                }
+                other => panic!("{backend}: expected a deadlock, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permanently blocked")]
+    fn parallel_detects_deadlock() {
+        run(
+            RunConfig::new(2).with_backend(Backend::Parallel).with_workers(2),
+            |mut ctx| async move {
+                if ctx.rank() == 0 {
+                    let _: u8 = ctx.recv(1, 42).await;
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn parallel_scales_to_many_ranks_and_workers() {
+        // More ranks than any sane thread-per-rank setup, driven by a small
+        // worker pool (explicit count: the test machine may have one core).
+        let p = 4096usize;
+        let report = run(
+            RunConfig::new(p).with_backend(Backend::Parallel).with_workers(4),
+            move |mut ctx| async move {
+                let sum = ctx.allreduce_sum(1.0).await;
+                assert_eq!(sum, p as f64);
+                ctx.compute(1.0e6 * ((ctx.rank() % 3 + 1) as f64));
+                let next = (ctx.rank() + 1) % ctx.size();
+                let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                ctx.send(next, 9, ctx.rank() as u32, 16);
+                let got: u32 = ctx.recv(prev, 9).await;
+                assert_eq!(got as usize, prev);
+                ctx.barrier().await;
+                ctx.mark_iteration(0);
+            },
+        );
+        assert_eq!(report.rank_metrics.len(), p);
+        assert_eq!(report.iterations.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool boom")]
+    fn parallel_rank_panic_propagates() {
+        run(RunConfig::new(8).with_backend(Backend::Parallel).with_workers(2), |ctx| {
+            async move {
+                if ctx.rank() == 5 {
+                    panic!("pool boom");
+                }
+                // Other ranks perform no blocking ops, so they finish.
             }
         });
     }
@@ -380,7 +465,7 @@ mod tests {
                 assert_eq!(rank, 0);
                 assert_eq!(ranks, 2);
             }
-            Ok(_) => panic!("a 1 PiB stack must not be spawnable"),
+            other => panic!("a 1 PiB stack must not be spawnable, got {other:?}"),
         }
     }
 
@@ -401,7 +486,10 @@ mod tests {
         assert_eq!("SEQ".parse(), Ok(Backend::Sequential));
         assert_eq!("threaded".parse(), Ok(Backend::Threaded));
         assert_eq!("Threads".parse(), Ok(Backend::Threaded));
+        assert_eq!("parallel".parse(), Ok(Backend::Parallel));
+        assert_eq!("Pool".parse(), Ok(Backend::Parallel));
         assert_eq!("fibers".parse::<Backend>(), Err(()));
         assert_eq!(Backend::Sequential.to_string(), "sequential");
+        assert_eq!(Backend::Parallel.to_string(), "parallel");
     }
 }

@@ -5,10 +5,17 @@
 //! and the virtual time at which it *arrives* at the destination under the
 //! Hockney model. Receives block until a matching envelope exists and then
 //! advance the receiver's clock to `max(local clock, arrival)`.
+//!
+//! Like the [`crate::hub`], the mailbox serves both waiting strategies: the
+//! threaded backend blocks in [`MailboxSet::recv`] on a condvar, while the
+//! cooperative backends poll [`MailboxSet::poll_recv`], which parks the
+//! rank's [`Waker`] under the inbox lock so that the `post` making a
+//! message available can wake exactly the rank suspended on it.
 
 use crate::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
+use std::task::Waker;
 
 /// A tag distinguishing message streams (like an MPI tag).
 pub type Tag = u64;
@@ -33,9 +40,17 @@ pub struct Received<T> {
     pub value: T,
 }
 
+/// One rank's inbox: the deposited envelopes plus the waker of a
+/// cooperatively scheduled rank suspended in `poll_recv` (at most one — a
+/// rank runs one receive at a time).
+struct Inbox {
+    envelopes: Vec<Envelope>,
+    waker: Option<Waker>,
+}
+
 /// The set of mailboxes for one run (indexed by destination rank).
 pub struct MailboxSet {
-    boxes: Vec<Mutex<Vec<Envelope>>>,
+    boxes: Vec<Mutex<Inbox>>,
     conds: Vec<Condvar>,
 }
 
@@ -43,7 +58,9 @@ impl MailboxSet {
     /// Create mailboxes for `size` ranks.
     pub fn new(size: usize) -> Self {
         Self {
-            boxes: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            boxes: (0..size)
+                .map(|_| Mutex::new(Inbox { envelopes: Vec::new(), waker: None }))
+                .collect(),
             conds: (0..size).map(|_| Condvar::new()).collect(),
         }
     }
@@ -54,7 +71,8 @@ impl MailboxSet {
     }
 
     /// Deposit a message for `to`. `seq` must be monotonically increasing per
-    /// sender (the [`crate::ctx::SpmdCtx`] manages this).
+    /// sender (the [`crate::ctx::SpmdCtx`] manages this). Wakes the
+    /// destination rank if it is suspended in a cooperative receive.
     pub fn post<T: Send + 'static>(
         &self,
         from: usize,
@@ -66,8 +84,13 @@ impl MailboxSet {
     ) {
         assert!(to < self.boxes.len(), "destination rank {to} out of range");
         let mut inbox = self.boxes[to].lock();
-        inbox.push(Envelope { from, tag, seq, arrival, payload: Box::new(value) });
+        inbox.envelopes.push(Envelope { from, tag, seq, arrival, payload: Box::new(value) });
+        let waker = inbox.waker.take();
         self.conds[to].notify_all();
+        drop(inbox);
+        if let Some(waker) = waker {
+            waker.wake();
+        }
     }
 
     /// Take the FIFO-next matching envelope out of `inbox`, if present.
@@ -101,22 +124,33 @@ impl MailboxSet {
     pub fn recv<T: Send + 'static>(&self, me: usize, from: usize, tag: Tag) -> Received<T> {
         let mut inbox = self.boxes[me].lock();
         loop {
-            if let Some(received) = Self::take_match(&mut inbox, me, from, tag) {
+            if let Some(received) = Self::take_match(&mut inbox.envelopes, me, from, tag) {
                 return received;
             }
             self.conds[me].wait(&mut inbox);
         }
     }
 
-    /// Non-blocking receive (the sequential backend's waiting strategy):
-    /// `None` when no matching message has been posted yet.
-    pub fn try_recv<T: Send + 'static>(
+    /// Non-blocking receive (the cooperative backends' waiting strategy):
+    /// `None` when no matching message has been posted yet, in which case
+    /// `waker` is parked — the registration happens under the inbox lock,
+    /// so a concurrent `post` either satisfies this poll or finds the waker
+    /// to wake; a wakeup can never fall between the check and the park.
+    pub(crate) fn poll_recv<T: Send + 'static>(
         &self,
         me: usize,
         from: usize,
         tag: Tag,
+        waker: &Waker,
     ) -> Option<Received<T>> {
-        Self::take_match(&mut self.boxes[me].lock(), me, from, tag)
+        let mut inbox = self.boxes[me].lock();
+        match Self::take_match(&mut inbox.envelopes, me, from, tag) {
+            Some(received) => Some(received),
+            None => {
+                inbox.waker = Some(waker.clone());
+                None
+            }
+        }
     }
 
     /// Drain every currently deposited message with tag `tag`, in
@@ -129,9 +163,9 @@ impl MailboxSet {
         let mut inbox = self.boxes[me].lock();
         let mut out = Vec::new();
         let mut i = 0;
-        while i < inbox.len() {
-            if inbox[i].tag == tag {
-                let env = inbox.swap_remove(i);
+        while i < inbox.envelopes.len() {
+            if inbox.envelopes[i].tag == tag {
+                let env = inbox.envelopes.swap_remove(i);
                 let value = *env
                     .payload
                     .downcast::<T>()
@@ -148,7 +182,7 @@ impl MailboxSet {
 
     /// Number of messages currently waiting in `me`'s mailbox (all tags).
     pub fn pending(&self, me: usize) -> usize {
-        self.boxes[me].lock().len()
+        self.boxes[me].lock().envelopes.len()
     }
 }
 
@@ -226,14 +260,40 @@ mod tests {
     }
 
     #[test]
-    fn try_recv_is_nonblocking() {
+    fn poll_recv_is_nonblocking() {
         let mail = MailboxSet::new(2);
-        assert!(mail.try_recv::<u64>(1, 0, 1).is_none());
+        let noop = Waker::noop();
+        assert!(mail.poll_recv::<u64>(1, 0, 1, noop).is_none());
         mail.post(0, 1, 1, 0, VirtualTime::from_secs(0.5), 99u64);
-        let got = mail.try_recv::<u64>(1, 0, 1).expect("posted");
+        let got = mail.poll_recv::<u64>(1, 0, 1, noop).expect("posted");
         assert_eq!(got.value, 99);
         assert_eq!(got.arrival.as_secs(), 0.5);
-        assert!(mail.try_recv::<u64>(1, 0, 1).is_none());
+        assert!(mail.poll_recv::<u64>(1, 0, 1, noop).is_none());
+    }
+
+    #[test]
+    fn post_wakes_parked_receiver() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        use std::task::Wake;
+
+        struct CountingWaker(Arc<AtomicUsize>);
+        impl Wake for CountingWaker {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let waker = Waker::from(Arc::new(CountingWaker(Arc::clone(&wakes))));
+        let mail = MailboxSet::new(2);
+        assert!(mail.poll_recv::<u64>(1, 0, 7, &waker).is_none());
+        assert_eq!(wakes.load(Ordering::SeqCst), 0);
+        mail.post(0, 1, 7, 0, VirtualTime::ZERO, 5u64);
+        assert_eq!(wakes.load(Ordering::SeqCst), 1, "post must wake the parked receiver");
+        // A post with no parked receiver wakes nobody.
+        mail.post(0, 1, 7, 1, VirtualTime::ZERO, 6u64);
+        assert_eq!(wakes.load(Ordering::SeqCst), 1);
     }
 
     #[test]

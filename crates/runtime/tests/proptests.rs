@@ -89,17 +89,20 @@ proptest! {
         prop_assert!((report.makespan().as_secs() - expect).abs() < 1e-9 * expect);
     }
 
-    /// The threaded and sequential backends produce bit-identical reports
-    /// for arbitrary BSP programs mixing compute, ring p2p, and collectives.
+    /// The threaded, sequential, and parallel backends produce bit-identical
+    /// reports for arbitrary BSP programs mixing compute, ring p2p, and
+    /// collectives (the parallel backend gets a small explicit worker count
+    /// so the property holds even on a single-core machine).
     #[test]
     fn backends_agree_on_random_programs(
         flops in proptest::collection::vec(1.0e5f64..1.0e9, 2..10),
         rounds in 1u64..5,
+        workers in 1usize..5,
     ) {
         let ranks = flops.len();
         let go = |backend: Backend| {
             let flops_ref = flops.clone();
-            run(RunConfig::new(ranks).with_backend(backend), move |mut ctx| {
+            run(RunConfig::new(ranks).with_backend(backend).with_workers(workers), move |mut ctx| {
                 let flops = flops_ref.clone();
                 async move {
                     for iter in 0..rounds {
@@ -116,16 +119,19 @@ proptest! {
             })
         };
         let threaded = go(Backend::Threaded);
-        let sequential = go(Backend::Sequential);
-        prop_assert_eq!(&threaded.rank_metrics, &sequential.rank_metrics);
-        prop_assert_eq!(&threaded.final_clocks, &sequential.final_clocks);
-        prop_assert_eq!(
-            threaded.makespan().as_secs().to_bits(),
-            sequential.makespan().as_secs().to_bits()
-        );
-        for (a, b) in threaded.iterations.iter().zip(&sequential.iterations) {
-            prop_assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits());
-            prop_assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
+        for backend in [Backend::Sequential, Backend::Parallel] {
+            let other = go(backend);
+            prop_assert_eq!(&threaded.rank_metrics, &other.rank_metrics);
+            prop_assert_eq!(&threaded.final_clocks, &other.final_clocks);
+            prop_assert_eq!(
+                threaded.makespan().as_secs().to_bits(),
+                other.makespan().as_secs().to_bits()
+            );
+            prop_assert_eq!(threaded.iterations.len(), other.iterations.len());
+            for (a, b) in threaded.iterations.iter().zip(&other.iterations) {
+                prop_assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits());
+                prop_assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits());
+            }
         }
     }
 }

@@ -6,6 +6,11 @@
 //! → centralized weighted rebalancing.
 //!
 //! Run with: `cargo run --release --example adaptive_runtime`
+//!
+//! The execution backend is selectable per process: e.g.
+//! `ULBA_BACKEND=parallel ULBA_WORKERS=4 cargo run --example adaptive_runtime`
+//! runs the same program (with a bit-identical report) on the
+//! work-stealing pool instead of one thread per rank.
 
 use ulba::core::prelude::*;
 use ulba::runtime::{run, RunConfig};
@@ -20,7 +25,9 @@ fn main() {
     let items_per_rank = 1_000usize;
     let hotspot = 12usize;
 
-    let report = run(RunConfig::new(pes), |mut ctx| async move {
+    let config = RunConfig::new(pes);
+    println!("backend: {} ({} PEs)\n", config.backend, pes);
+    let report = run(config, |mut ctx| async move {
         let rank = ctx.rank();
         let p = ctx.size();
         // (start, weights) of my contiguous item range.
