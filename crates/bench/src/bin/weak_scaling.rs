@@ -6,7 +6,9 @@
 //! additionally uses all cores, tunable with `--workers N`).
 //! `--backends sequential,parallel` runs the sweep once per backend in a
 //! single invocation so their simulation wall-clocks can be compared;
-//! `--ranks 16384` narrows the sweep to one PE count; `--smoke` (or
+//! `--ranks 16384` narrows the sweep to one PE count; `--hub-shards N`
+//! pins the rendezvous-hub shard count (default: `min(workers, 64)`; the
+//! CI perf-trajectory job sweeps `1` vs default); `--smoke` (or
 //! `ULBA_QUICK=1`) shrinks the domain for CI; `--json <path>` additionally
 //! writes the machine-readable perf-trajectory report covering every
 //! backend of the invocation (CI uploads it as `BENCH_weak_scaling.json`).

@@ -39,6 +39,9 @@ pub struct WeakScalingRow {
     pub policy: &'static str,
     /// Backend label (`threaded` / `sequential` / `parallel` / `default`).
     pub backend: String,
+    /// Resolved leaf shard count of the rendezvous hub the run used
+    /// (`--hub-shards` / `ULBA_HUB_SHARDS`; default `min(workers, 64)`).
+    pub hub_shards: usize,
     /// Virtual makespan in seconds.
     pub makespan: f64,
     /// Number of LB steps performed.
@@ -107,8 +110,9 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
                 0.0
             };
             eprintln!(
-                "  [P={ranks} {label} {backend_label}] makespan {:.2}s, {} LB calls, \
+                "  [P={ranks} {label} {backend_label} S={}] makespan {:.2}s, {} LB calls, \
                  util {:.1}%, λ {:.3}, simulated in {sim_secs:.2}s",
+                res.hub_shards,
                 res.makespan,
                 res.lb_calls,
                 res.mean_utilization * 100.0,
@@ -118,6 +122,7 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
                 ranks,
                 policy: label,
                 backend: backend_label.clone(),
+                hub_shards: res.hub_shards,
                 makespan: res.makespan,
                 lb_calls: res.lb_calls,
                 mean_utilization: res.mean_utilization,
@@ -134,6 +139,7 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
             vec![
                 r.ranks.to_string(),
                 r.policy.to_string(),
+                r.hub_shards.to_string(),
                 format!("{:.2}", r.makespan),
                 r.lb_calls.to_string(),
                 format!("{:.1}%", r.mean_utilization * 100.0),
@@ -144,7 +150,16 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
         .collect();
     print_table(
         &format!("Weak scaling — backend {backend_label}"),
-        &["PEs", "policy", "time [s]", "LB calls", "utilization", "λ", "sim wall [s]"],
+        &[
+            "PEs",
+            "policy",
+            "hub shards",
+            "time [s]",
+            "LB calls",
+            "utilization",
+            "λ",
+            "sim wall [s]",
+        ],
         &table,
     );
     let csv_rows: Vec<Vec<String>> = rows.iter().map(csv_row).collect();
@@ -157,6 +172,7 @@ const CSV_HEADER: &[&str] = &[
     "pes",
     "policy",
     "backend",
+    "hub_shards",
     "makespan_s",
     "lb_calls",
     "mean_utilization",
@@ -170,6 +186,7 @@ fn csv_row(r: &WeakScalingRow) -> Vec<String> {
         r.ranks.to_string(),
         r.policy.to_string(),
         r.backend.clone(),
+        r.hub_shards.to_string(),
         format!("{}", r.makespan),
         r.lb_calls.to_string(),
         format!("{}", r.mean_utilization),
@@ -185,19 +202,21 @@ fn csv_row(r: &WeakScalingRow) -> Vec<String> {
 /// imbalance statistics. Returns the written path.
 pub fn write_json_report(rows: &[WeakScalingRow], smoke: bool, path: &Path) -> PathBuf {
     let mut doc = String::from("{\n");
-    doc.push_str("  \"schema\": 1,\n");
+    doc.push_str("  \"schema\": 2,\n");
     doc.push_str("  \"study\": \"weak_scaling\",\n");
     doc.push_str(&format!("  \"smoke\": {smoke},\n"));
     doc.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         doc.push_str(&format!(
             "    {{\"backend\": \"{}\", \"pes\": {}, \"policy\": \"{}\", \
+             \"hub_shards\": {}, \
              \"sim_wall_s\": {}, \"makespan_virtual_s\": {}, \"lb_calls\": {}, \
              \"mean_utilization\": {}, \"busy_max_over_mean\": {}, \
              \"idle_fraction\": {}}}{}\n",
             json_escape(&r.backend),
             r.ranks,
             json_escape(r.policy),
+            r.hub_shards,
             json_f64(r.sim_secs),
             json_f64(r.makespan),
             r.lb_calls,

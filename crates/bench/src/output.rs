@@ -124,10 +124,10 @@ pub fn cli_json_path() -> Option<PathBuf> {
     cli_value("--json").map(PathBuf::from)
 }
 
-/// Apply `--backend` (and `--workers`, for the parallel backend) to the
-/// whole process by exporting `ULBA_BACKEND`/`ULBA_WORKERS`, so every
-/// `RunConfig::new` in the figure pipeline picks them up without threading
-/// a parameter through each study function.
+/// Apply `--backend` (and `--workers` / `--hub-shards`) to the whole
+/// process by exporting `ULBA_BACKEND`/`ULBA_WORKERS`/`ULBA_HUB_SHARDS`,
+/// so every `RunConfig::new` in the figure pipeline picks them up without
+/// threading a parameter through each study function.
 pub fn apply_cli_backend() {
     if let Some(backend) = cli_backend() {
         std::env::set_var("ULBA_BACKEND", backend.to_string());
@@ -138,6 +138,15 @@ pub fn apply_cli_backend() {
             std::process::exit(2);
         }
         std::env::set_var("ULBA_WORKERS", workers);
+    }
+    if let Some(shards) = cli_value("--hub-shards") {
+        match shards.parse::<usize>() {
+            Ok(n) if n >= 1 => std::env::set_var("ULBA_HUB_SHARDS", shards),
+            _ => {
+                eprintln!("invalid --hub-shards `{shards}` (expected a shard count >= 1)");
+                std::process::exit(2);
+            }
+        }
     }
 }
 

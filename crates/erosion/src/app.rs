@@ -62,6 +62,10 @@ pub struct ExperimentResult {
     pub total_eroded: u64,
     /// Final per-rank time accounting.
     pub rank_metrics: Vec<RankMetrics>,
+    /// Leaf shard count the runtime's rendezvous hub actually ran with
+    /// (the resolved value of [`ErosionConfig::hub_shards`]). Pure
+    /// contention metadata: it never influences the measurements above.
+    pub hub_shards: usize,
 }
 
 /// Deterministically pick which rock discs are strongly erodible
@@ -177,6 +181,10 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
     if let Some(workers) = cfg.workers {
         run_cfg = run_cfg.with_workers(workers);
     }
+    if let Some(hub_shards) = cfg.hub_shards {
+        run_cfg = run_cfg.with_hub_shards(hub_shards);
+    }
+    let hub_shards = run_cfg.effective_hub_shards();
 
     let report = run(run_cfg, |mut ctx| {
         let geometry = &geometry;
@@ -400,6 +408,7 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
         final_total_weight,
         total_eroded,
         rank_metrics: report.rank_metrics,
+        hub_shards,
     }
 }
 

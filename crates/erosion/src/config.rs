@@ -101,6 +101,11 @@ pub struct ErosionConfig {
     /// the `ULBA_WORKERS` environment variable, falling back to all
     /// available cores). Ignored by the other backends.
     pub workers: Option<usize>,
+    /// Leaf shard count of the runtime's collective rendezvous hub
+    /// (`None` = runtime default: the `ULBA_HUB_SHARDS` environment
+    /// variable, falling back to `min(effective workers, 64)`). Purely a
+    /// contention knob — results are bit-identical for any value.
+    pub hub_shards: Option<usize>,
 }
 
 impl ErosionConfig {
@@ -133,6 +138,7 @@ impl ErosionConfig {
             backend: None,
             stack_size: None,
             workers: None,
+            hub_shards: None,
         }
     }
 
@@ -211,6 +217,9 @@ impl ErosionConfig {
         if self.workers == Some(0) {
             return Err("workers must be positive when set (None = all cores)".into());
         }
+        if self.hub_shards == Some(0) {
+            return Err("hub_shards must be positive when set (None = runtime default)".into());
+        }
         Ok(())
     }
 
@@ -288,6 +297,9 @@ mod tests {
         let mut c = ErosionConfig::tiny(4, 1);
         c.workers = Some(0);
         assert!(c.validate().is_err());
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.hub_shards = Some(0);
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -299,6 +311,8 @@ mod tests {
         c.validate().unwrap();
         c.backend = Some(Backend::Parallel);
         c.workers = Some(2);
+        c.validate().unwrap();
+        c.hub_shards = Some(8);
         c.validate().unwrap();
     }
 }

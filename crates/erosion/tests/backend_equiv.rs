@@ -4,6 +4,9 @@
 //! **bit-identical** experiment results — same virtual makespan, same
 //! per-rank clocks and time accounting, same iteration statistics, same LB
 //! activations — for the full erosion application, not just micro-programs.
+//! The rendezvous hub's shard count rides along as a second free
+//! dimension: any `S` (degenerate 1, ragged, one-rank-per-shard) must be
+//! invisible in the results.
 
 use proptest::prelude::*;
 use ulba_core::gossip::GossipMode;
@@ -62,6 +65,50 @@ fn assert_backends_equivalent(cfg: &ErosionConfig) {
     }
 }
 
+/// Compare the single-shard reference against the hub shard sweep of the
+/// acceptance criterion — `S ∈ {1, 2, 7, P}` — on every backend.
+fn assert_shard_counts_equivalent(cfg: &ErosionConfig) {
+    let mut reference_cfg = cfg.clone();
+    reference_cfg.hub_shards = Some(1);
+    let reference = on_backend(&reference_cfg, Backend::Threaded);
+    assert_eq!(reference.hub_shards, 1);
+    for backend in [Backend::Threaded, Backend::Sequential, Backend::Parallel] {
+        for shards in [1usize, 2, 7, cfg.ranks] {
+            let mut sharded = cfg.clone();
+            sharded.hub_shards = Some(shards);
+            let other = on_backend(&sharded, backend);
+            assert!(
+                other.hub_shards >= 1 && other.hub_shards <= cfg.ranks,
+                "{backend}: resolved shard count {} out of range",
+                other.hub_shards
+            );
+            assert_bit_identical(&reference, &other, backend);
+        }
+    }
+}
+
+/// The tentpole acceptance criterion at application scale: a 128-rank
+/// erosion run (LB steps included) is bit-identical across
+/// `S ∈ {1, 2, 7, 128}` × all three backends. 128 ranks over `S = 7`
+/// leaves a ragged last shard (6 × 19 + 14).
+#[test]
+fn shard_counts_equivalent_at_128_ranks() {
+    let mut cfg = ErosionConfig::tiny(128, 4);
+    cfg.iterations = 15;
+    assert_shard_counts_equivalent(&cfg);
+}
+
+/// Non-power-of-two P: every shard width divides 90 unevenly somewhere in
+/// the sweep, exercising the ragged-shard assembly path under real LB
+/// migrations.
+#[test]
+fn shard_counts_equivalent_at_ragged_90_ranks() {
+    let mut cfg = ErosionConfig::tiny(90, 2);
+    cfg.iterations = 20;
+    cfg.initial_lb_cost_factor = 0.05; // make the trigger actually fire
+    assert_shard_counts_equivalent(&cfg);
+}
+
 /// The acceptance-criterion case: a 128-rank erosion run with LB activity
 /// must be bit-identical across all three backends.
 #[test]
@@ -92,8 +139,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Randomized erosion configurations: ranks, rocks, iterations, seed,
-    /// policy, gossip mode, anticipation — always bit-identical on all
-    /// three backends.
+    /// policy, gossip mode, anticipation, hub shard count — always
+    /// bit-identical on all three backends.
     #[test]
     fn equivalent_on_random_configs(
         ranks in 2usize..12,
@@ -103,6 +150,7 @@ proptest! {
         ulba in any::<bool>(),
         anticipate in any::<bool>(),
         ring_gossip in any::<bool>(),
+        hub_shards in 1usize..16,
     ) {
         let mut cfg = ErosionConfig::tiny(ranks, strong.min(ranks));
         cfg.iterations = iterations;
@@ -114,6 +162,31 @@ proptest! {
         } else {
             GossipMode::RandomPush { fanout: 2 }
         };
+        cfg.hub_shards = Some(hub_shards);
         assert_backends_equivalent(&cfg);
+    }
+
+    /// Randomized shard sweeps on the full application: any two shard
+    /// counts agree on any backend.
+    #[test]
+    fn equivalent_on_random_shard_pairs(
+        ranks in 3usize..24,
+        iterations in 15u64..35,
+        seed in any::<u64>(),
+        s_a in 1usize..26,
+        s_b in 1usize..26,
+        parallel in any::<bool>(),
+    ) {
+        let mut cfg = ErosionConfig::tiny(ranks, 1);
+        cfg.iterations = iterations;
+        cfg.seed = seed;
+        let backend = if parallel { Backend::Parallel } else { Backend::Sequential };
+        let mut a = cfg.clone();
+        a.hub_shards = Some(s_a);
+        let mut b = cfg;
+        b.hub_shards = Some(s_b);
+        let ra = on_backend(&a, backend);
+        let rb = on_backend(&b, backend);
+        assert_bit_identical(&ra, &rb, backend);
     }
 }

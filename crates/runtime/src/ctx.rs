@@ -32,6 +32,9 @@ pub struct SpmdCtx {
     rank: usize,
     size: usize,
     shared: Arc<RunShared>,
+    /// This rank's leaf shard in the rendezvous hub, resolved once per run
+    /// so the per-collective hot path never recomputes the mapping.
+    hub_shard: usize,
     /// Waiting strategy: `true` blocks the OS thread (threaded backend),
     /// `false` suspends the rank future (sequential backend).
     blocking: bool,
@@ -52,10 +55,12 @@ impl SpmdCtx {
         blocking: bool,
         tracer: Option<Arc<Tracer>>,
     ) -> Self {
+        let hub_shard = shared.hub.shard_of(rank);
         Self {
             rank,
             size,
             shared,
+            hub_shard,
             blocking,
             clock: VirtualTime::ZERO,
             metrics: RankMetrics::default(),
@@ -214,11 +219,12 @@ impl SpmdCtx {
         value: T,
     ) -> ExchangeRound<T> {
         if self.blocking {
-            self.shared.hub.exchange(self.rank, op, value, self.clock)
+            self.shared.hub.exchange_in_shard(self.hub_shard, self.rank, op, value, self.clock)
         } else {
             ExchangeFuture {
                 shared: Arc::clone(&self.shared),
                 rank: self.rank,
+                shard: self.hub_shard,
                 op,
                 pending: Some((value, self.clock)),
             }
@@ -374,6 +380,8 @@ impl Drop for SpmdCtx {
 struct ExchangeFuture<T> {
     shared: Arc<RunShared>,
     rank: usize,
+    /// The rank's leaf shard in the hub (cached by the ctx).
+    shard: usize,
     op: &'static str,
     /// `Some` until the deposit was accepted.
     pending: Option<(T, VirtualTime)>,
@@ -388,7 +396,14 @@ impl<T: Clone + Send + Sync + 'static> Future for ExchangeFuture<T> {
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
         if let Some((value, clock)) = this.pending.take() {
-            match this.shared.hub.poll_deposit(this.rank, this.op, value, clock, cx.waker()) {
+            match this.shared.hub.poll_deposit(
+                this.shard,
+                this.rank,
+                this.op,
+                value,
+                clock,
+                cx.waker(),
+            ) {
                 Ok(()) => this.shared.note_progress(),
                 Err(value) => {
                     // Previous round not fully drained yet: retry when woken.
@@ -397,7 +412,7 @@ impl<T: Clone + Send + Sync + 'static> Future for ExchangeFuture<T> {
                 }
             }
         }
-        match this.shared.hub.poll_collect::<T>(this.rank, this.op, cx.waker()) {
+        match this.shared.hub.poll_collect::<T>(this.shard, this.rank, this.op, cx.waker()) {
             Some(round) => {
                 this.shared.note_progress();
                 Poll::Ready(round)

@@ -117,8 +117,17 @@ pub struct RunConfig {
     pub backend: Backend,
     /// Worker threads of the parallel backend; `0` (the default) means the
     /// machine's available parallelism. Defaults to the `ULBA_WORKERS`
-    /// environment variable. Ignored by the other backends.
+    /// environment variable. The other backends spawn no workers from it,
+    /// but it still seeds the automatic hub shard count
+    /// ([`RunConfig::effective_hub_shards`]) on the threaded backend.
     pub workers: usize,
+    /// Leaf shard count of the collective rendezvous hub; `0` (the
+    /// default) resolves to `min(effective workers, 64)` (capped at
+    /// `ranks`), so a parallel run spreads rendezvous contention over one
+    /// shard per worker while the sequential backend keeps the degenerate
+    /// single shard. Defaults to the `ULBA_HUB_SHARDS` environment
+    /// variable. Reports are bit-identical for **any** shard count.
+    pub hub_shards: usize,
 }
 
 impl RunConfig {
@@ -131,6 +140,10 @@ impl RunConfig {
             tracer: None,
             backend: Backend::from_env().unwrap_or(Backend::Threaded),
             workers: std::env::var("ULBA_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0),
+            hub_shards: std::env::var("ULBA_HUB_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
 
@@ -164,6 +177,32 @@ impl RunConfig {
         self.workers = workers;
         self
     }
+
+    /// Set the leaf shard count of the rendezvous hub (`0` = automatic:
+    /// `min(effective workers, 64)`; overrides `ULBA_HUB_SHARDS`). Any
+    /// value produces bit-identical reports; the count only tunes lock
+    /// contention at the collective rendezvous.
+    pub fn with_hub_shards(mut self, shards: usize) -> Self {
+        self.hub_shards = shards;
+        self
+    }
+
+    /// The hub shard count this configuration resolves to: the explicit
+    /// [`RunConfig::hub_shards`] if nonzero, otherwise
+    /// `min(effective workers, 64)` — one shard per worker of the parallel
+    /// backend (threaded runs shard by available parallelism; the
+    /// single-threaded sequential scheduler keeps the degenerate single
+    /// shard). Always clamped to `[1, ranks]`.
+    pub fn effective_hub_shards(&self) -> usize {
+        let auto = || match self.backend {
+            Backend::Sequential => 1,
+            Backend::Threaded | Backend::Parallel => {
+                exec::parallel::effective_workers(self).min(64)
+            }
+        };
+        let shards = if self.hub_shards > 0 { self.hub_shards } else { auto() };
+        shards.clamp(1, self.ranks.max(1))
+    }
 }
 
 /// A structured run failure (instead of a panic deep inside the engine).
@@ -191,6 +230,11 @@ pub enum RunError {
         blocked: Vec<usize>,
         /// Total ranks in the run.
         ranks: usize,
+        /// The distinct hub shards holding blocked ranks, in shard order —
+        /// a stuck collective often spans several shards of the reduction
+        /// tree, and knowing which narrows the mismatched ranks down fast
+        /// at large `P`.
+        shards: Vec<usize>,
     },
 }
 
@@ -200,15 +244,18 @@ impl std::fmt::Display for RunError {
             RunError::ThreadSpawn { rank, ranks, source } => {
                 write!(f, "failed to spawn the thread of rank {rank} (of {ranks}): {source}")
             }
-            RunError::Deadlock { blocked, ranks } => {
+            RunError::Deadlock { blocked, ranks, shards } => {
                 write!(
                     f,
                     "deadlock: {} of {ranks} ranks are permanently blocked \
                      (collective ordering bug, or a recv with no matching send); \
-                     blocked ranks {:?}{}",
+                     blocked ranks {:?}{} in hub shard{} {:?}{}",
                     blocked.len(),
                     &blocked[..blocked.len().min(8)],
                     if blocked.len() > 8 { " …" } else { "" },
+                    if shards.len() == 1 { "" } else { "s" },
+                    &shards[..shards.len().min(8)],
+                    if shards.len() > 8 { " …" } else { "" },
                 )
             }
         }
@@ -278,7 +325,7 @@ pub(crate) struct RunShared {
 impl RunShared {
     pub(crate) fn new(config: &RunConfig) -> Arc<Self> {
         Arc::new(Self {
-            hub: Hub::new(config.ranks),
+            hub: Hub::with_shards(config.ranks, config.effective_hub_shards()),
             mail: MailboxSet::new(config.ranks),
             collector: Collector::new(config.ranks),
             spec: config.spec.clone(),
@@ -297,6 +344,16 @@ impl RunShared {
 
     pub(crate) fn record_final(&self, rank: usize, clock: VirtualTime, metrics: RankMetrics) {
         *self.finals[rank].lock() = Some((clock, metrics));
+    }
+
+    /// Build the structured deadlock error for `blocked` (sorted by rank),
+    /// annotating the distinct hub shards the blocked ranks sit in.
+    pub(crate) fn deadlock(&self, blocked: Vec<usize>) -> RunError {
+        let mut shards: Vec<usize> = blocked.iter().map(|&r| self.hub.shard_of(r)).collect();
+        // `shard_of` is monotone in rank and `blocked` is rank-ordered, so
+        // adjacent dedup yields the sorted distinct shard set.
+        shards.dedup();
+        RunError::Deadlock { blocked, ranks: self.hub.size(), shards }
     }
 
     fn build_report(&self) -> RunReport {

@@ -81,6 +81,54 @@ thread_local! {
     /// the shared injector. `Weak` + restore-on-drop keeps nested runs
     /// (a rank body calling [`crate::engine::run`] itself) correct.
     static CURRENT_WORKER: RefCell<Option<(Weak<Pool>, usize)>> = const { RefCell::new(None) };
+
+    /// Shard-affine wake batching: while `Some`, a [`TaskWaker`] wake that
+    /// wins its WAITING→SCHEDULED transition defers the queue push into
+    /// this buffer instead of locking a run queue per task. The sharded
+    /// hub wakes whole shards at once (round completion, entry reopening);
+    /// [`wake_batched`] flushes each batch under a single queue lock.
+    static WAKE_BATCH: RefCell<Option<Vec<DeferredWake>>> = const { RefCell::new(None) };
+}
+
+/// Wake a set of wakers, batching the pushes of tasks that belong to a
+/// parallel pool: the state transitions (which deduplicate concurrent
+/// wakes) still happen one by one, but all resulting run-queue insertions
+/// of one pool land under a single queue lock, and sleeping workers are
+/// roused once per batch instead of once per task. Wakers of other
+/// backends (no-op wakers of the sequential scheduler, thread unparkers of
+/// the threaded backend) are simply woken in order.
+pub(crate) fn wake_batched(wakers: Vec<Waker>) {
+    if wakers.len() <= 1 {
+        for waker in wakers {
+            waker.wake();
+        }
+        return;
+    }
+    let previous = WAKE_BATCH.with(|b| b.borrow_mut().replace(Vec::new()));
+    for waker in wakers {
+        waker.wake();
+    }
+    let mut batch = WAKE_BATCH.with(|b| {
+        let mut slot = b.borrow_mut();
+        let batch = slot.take();
+        *slot = previous;
+        batch.expect("batch installed above")
+    });
+    // Flush per pool (in practice one), preserving FIFO order so batched
+    // wakes are polled in the order the hub issued them (shard by shard).
+    while !batch.is_empty() {
+        let pool = Arc::clone(&batch[0].0);
+        let mut tasks = Vec::new();
+        batch.retain(|(p, task)| {
+            if Arc::ptr_eq(p, &pool) {
+                tasks.push(*task);
+                false
+            } else {
+                true
+            }
+        });
+        pool.push_batch(&tasks);
+    }
 }
 
 /// Marks the current thread as worker `idx` of `pool` for the duration of
@@ -107,6 +155,10 @@ struct TaskWaker {
     pool: Arc<Pool>,
     task: usize,
 }
+
+/// One deferred wake: the pool whose task was marked SCHEDULED, and the
+/// task index awaiting its queue push.
+type DeferredWake = (Arc<Pool>, usize);
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
@@ -141,7 +193,7 @@ impl Pool {
                         .compare_exchange(WAITING, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
-                        self.push(task);
+                        self.enqueue(task);
                         return;
                     }
                 }
@@ -159,20 +211,49 @@ impl Pool {
         }
     }
 
+    /// Route a freshly [`SCHEDULED`] task to the active wake batch if one
+    /// is open on this thread, else push it immediately.
+    fn enqueue(self: &Arc<Self>, task: usize) {
+        let deferred = WAKE_BATCH.with(|b| match b.borrow_mut().as_mut() {
+            Some(batch) => {
+                batch.push((Arc::clone(self), task));
+                true
+            }
+            None => false,
+        });
+        if !deferred {
+            self.push(task);
+        }
+    }
+
     /// Enqueue a [`SCHEDULED`] task and rouse one sleeping worker.
     fn push(self: &Arc<Self>, task: usize) {
+        self.push_batch(&[task]);
+    }
+
+    /// Enqueue a whole batch of [`SCHEDULED`] tasks under one queue lock
+    /// (the shard-affine wake path of the reduction-tree hub), rousing as
+    /// many sleeping workers as there are tasks to run.
+    fn push_batch(self: &Arc<Self>, tasks: &[usize]) {
+        if tasks.is_empty() {
+            return;
+        }
         let local = CURRENT_WORKER.with(|cw| {
             cw.borrow().as_ref().and_then(|(pool, idx)| {
                 pool.upgrade().filter(|p| Arc::ptr_eq(p, self)).map(|_| *idx)
             })
         });
         match local {
-            Some(worker) => self.locals[worker].lock().push_back(task),
-            None => self.injector.lock().push_back(task),
+            Some(worker) => self.locals[worker].lock().extend(tasks.iter().copied()),
+            None => self.injector.lock().extend(tasks.iter().copied()),
         }
         let sleep = self.sleep.lock();
         if sleep.idle > 0 {
-            self.wakeup.notify_one();
+            if tasks.len() == 1 {
+                self.wakeup.notify_one();
+            } else {
+                self.wakeup.notify_all();
+            }
         }
     }
 
@@ -331,7 +412,9 @@ fn worker_loop<Fut>(
 
 /// Worker count for a run: the explicit `RunConfig::workers` if nonzero,
 /// otherwise the machine's available parallelism; never more than `ranks`.
-fn effective_workers(config: &RunConfig) -> usize {
+/// Also the basis of the default hub shard count
+/// ([`RunConfig::effective_hub_shards`]).
+pub(crate) fn effective_workers(config: &RunConfig) -> usize {
     let requested = if config.workers > 0 {
         config.workers
     } else {
@@ -399,7 +482,7 @@ where
     if pool.sleep.lock().deadlocked {
         let blocked: Vec<usize> =
             (0..ranks).filter(|&rank| pool.states[rank].load(Ordering::Acquire) != DONE).collect();
-        return Err(RunError::Deadlock { blocked, ranks });
+        return Err(shared.deadlock(blocked));
     }
     Ok(())
 }

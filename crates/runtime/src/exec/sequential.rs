@@ -64,7 +64,7 @@ where
                 .enumerate()
                 .filter_map(|(rank, slot)| slot.is_some().then_some(rank))
                 .collect();
-            return Err(RunError::Deadlock { blocked, ranks });
+            return Err(shared.deadlock(blocked));
         }
     }
     Ok(())

@@ -8,25 +8,51 @@
 //! (deposit → drain) prevents a fast rank from entering the next collective
 //! before the previous one has been fully read.
 //!
-//! The hub itself is **backend-agnostic**: the state machine
-//! ([`HubState::deposit`] / [`HubState::collect`]) is pure bookkeeping over
-//! the deposited values, and the execution backends drive it with different
-//! waiting strategies — the threaded backend blocks on a condvar
-//! ([`Hub::exchange`]), while the cooperative backends (sequential and
-//! parallel) poll the non-blocking [`Hub::poll_deposit`] /
+//! # Sharding
+//!
+//! The hub is **sharded**: the `P` ranks are split over `S` leaf shards
+//! (shard = `rank / ceil(P/S)`, so the last shard may be ragged), each with
+//! its own lock, value slots, and parked-waker list. A deposit touches only
+//! its own shard — the global single-mutex serialization of the pre-shard
+//! hub becomes `O(P/S)` contention per shard. Shard completions combine up
+//! a fixed-arity reduction tree of atomic fan-in counters; the deposit that
+//! completes the last shard walks its root path, and on reaching the root
+//! it assembles the rank-indexed result from the shards (in shard order, so
+//! the vector and the clock maximum are bit-identical for **any** shard
+//! count, including the `S = 1` degenerate case, which is exactly the old
+//! single-mutex hub) and distributes it back to every shard, waking the
+//! shard-local waiters. Draining mirrors the same tree: the last rank out
+//! of a shard propagates up, and the globally last drain reopens entry on
+//! every shard for the next generation.
+//!
+//! The hub itself stays **backend-agnostic**: the shard state machine
+//! ([`ShardState::deposit`] / [`ShardState::collect`]) is pure bookkeeping
+//! over the deposited values, and the execution backends drive it with
+//! different waiting strategies — the threaded backend blocks on the
+//! shard's condvar ([`Hub::exchange`]), while the cooperative backends
+//! (sequential and parallel) poll the non-blocking [`Hub::poll_deposit`] /
 //! [`Hub::poll_collect`] pair and never block at all. A cooperative caller
-//! leaves its [`Waker`] behind whenever it cannot progress; the state
-//! transition that unblocks it — the round completing on the last deposit,
-//! or entry reopening on the last drain — wakes every parked waker, which
-//! is what lets the parallel backend sleep blocked ranks instead of
-//! spinning them (the sequential scheduler passes a no-op waker and keeps
+//! leaves its [`Waker`] behind in its shard whenever it cannot progress;
+//! the state transition that unblocks it — the round completing on the
+//! last deposit, or entry reopening on the last drain — wakes every parked
+//! waker of every shard (batched shard-by-shard through
+//! [`crate::exec::parallel::wake_batched`], so the parallel backend moves a
+//! whole shard's worth of ranks onto a run queue under one lock), which is
+//! what lets the parallel backend sleep blocked ranks instead of spinning
+//! them (the sequential scheduler passes a no-op waker and keeps
 //! round-robining).
 
+use crate::exec::parallel::wake_batched;
 use crate::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::Waker;
+
+/// Fan-in of the reduction tree combining shard completions: each internal
+/// node waits for up to this many children before notifying its parent.
+const TREE_ARITY: usize = 4;
 
 /// Result of one exchange round: the rank-indexed values and the latest
 /// deposit clock (the virtual instant at which the collective can complete).
@@ -43,41 +69,61 @@ impl<T> Clone for ExchangeRound<T> {
     }
 }
 
-struct HubState {
+/// Lock-protected state of one leaf shard: the deposit slots of its ranks,
+/// the entry guard, and the distributed copy of the completed round.
+struct ShardState {
     generation: u64,
     op_name: Option<&'static str>,
+    /// Deposit slots of this shard's ranks, indexed locally
+    /// (`rank - base`). Taken by the root assembly on round completion.
     values: Vec<Option<Box<dyn Any + Send>>>,
     arrived: usize,
     max_clock: VirtualTime,
-    /// Type-erased `Arc<Vec<T>>` of the completed round.
+    /// Whether a new deposit may enter. Closed when the shard completes
+    /// locally; reopened by the globally last drain of the round.
+    entry_open: bool,
+    /// Type-erased `Arc<Vec<T>>` of the completed round, distributed to
+    /// every shard by the completing rank.
     result: Option<Box<dyn Any + Send>>,
     result_max_clock: VirtualTime,
     departed: usize,
     /// Wakers of cooperatively scheduled ranks parked at the rendezvous
     /// (waiting either for the round to complete or for entry to reopen),
-    /// indexed by rank. A rank runs one operation at a time, so one slot
+    /// indexed locally. A rank runs one operation at a time, so one slot
     /// per rank suffices.
     wakers: Vec<Option<Waker>>,
 }
 
-impl HubState {
-    /// Whether a new deposit may enter (the previous round is fully drained).
-    fn entry_open(&self) -> bool {
-        self.result.is_none()
+impl ShardState {
+    fn new(width: usize) -> Self {
+        Self {
+            generation: 0,
+            op_name: None,
+            values: (0..width).map(|_| None).collect(),
+            arrived: 0,
+            max_clock: VirtualTime::ZERO,
+            entry_open: true,
+            result: None,
+            result_max_clock: VirtualTime::ZERO,
+            departed: 0,
+            wakers: (0..width).map(|_| None).collect(),
+        }
     }
 
-    /// Deposit `value` for `rank` into the current round; the caller must
-    /// have checked [`HubState::entry_open`]. When the last of `size` ranks
-    /// arrives, the rank-indexed result vector is materialized.
+    /// Deposit `value` for the shard-local slot `local` (global id `rank`)
+    /// into the current round; the caller must have checked
+    /// [`ShardState::entry_open`]. Returns `true` when this deposit
+    /// completed the shard (all of its ranks arrived), which closes entry
+    /// and obliges the caller to propagate the completion up the tree.
     fn deposit<T: Send + Sync + 'static>(
         &mut self,
-        size: usize,
+        local: usize,
         rank: usize,
         op_name: &'static str,
         value: T,
         clock: VirtualTime,
-    ) {
-        debug_assert!(self.entry_open(), "deposit into an undrained round");
+    ) -> bool {
+        debug_assert!(self.entry_open, "deposit into an undrained round");
         match self.op_name {
             None => self.op_name = Some(op_name),
             Some(existing) => assert_eq!(
@@ -88,38 +134,28 @@ impl HubState {
             ),
         }
         assert!(
-            self.values[rank].is_none(),
+            self.values[local].is_none(),
             "rank {rank} deposited twice in collective `{op_name}` \
              (generation {})",
             self.generation
         );
-        self.values[rank] = Some(Box::new(value));
+        self.values[local] = Some(Box::new(value));
         self.arrived += 1;
         self.max_clock = self.max_clock.max(clock);
-
-        if self.arrived == size {
-            // Last to arrive: materialize the rank-indexed vector.
-            let mut vec: Vec<T> = Vec::with_capacity(size);
-            for slot in self.values.iter_mut() {
-                let boxed = slot.take().expect("all ranks deposited");
-                vec.push(*boxed.downcast::<T>().unwrap_or_else(|_| {
-                    panic!(
-                        "collective `{op_name}`: payload type mismatch \
-                         across ranks"
-                    )
-                }));
-            }
-            self.result = Some(Box::new(Arc::new(vec)));
-            self.result_max_clock = self.max_clock;
+        if self.arrived == self.values.len() {
+            self.entry_open = false;
+            true
+        } else {
+            false
         }
     }
 
-    /// Read the completed round, if any. Returns the round plus whether this
-    /// caller was the last to depart (which resets the state for the next
-    /// generation). Must be called at most once per depositing rank.
+    /// Read the distributed round result, if present. Returns the round
+    /// plus whether this caller was the last of the *shard* to depart
+    /// (which obliges the caller to propagate the drain up the tree). Must
+    /// be called at most once per depositing rank.
     fn collect<T: Send + Sync + 'static>(
         &mut self,
-        size: usize,
         op_name: &'static str,
     ) -> Option<(ExchangeRound<T>, bool)> {
         let arc = self
@@ -130,57 +166,218 @@ impl HubState {
             .clone();
         let max_clock = self.result_max_clock;
         self.departed += 1;
-        let last_out = self.departed == size;
-        if last_out {
-            // Reset for the next generation.
-            self.result = None;
-            self.arrived = 0;
-            self.departed = 0;
-            self.max_clock = VirtualTime::ZERO;
-            self.op_name = None;
-            self.generation += 1;
-        }
-        Some((ExchangeRound { values: arc, max_clock }, last_out))
+        let shard_drained = self.departed == self.values.len();
+        Some((ExchangeRound { values: arc, max_clock }, shard_drained))
     }
 
-    /// Take every parked waker (to be woken after the state lock is
+    /// Take every parked waker (to be woken after the shard lock is
     /// released).
     fn take_wakers(&mut self) -> Vec<Waker> {
         self.wakers.iter_mut().filter_map(Option::take).collect()
     }
 }
 
-/// Rendezvous coordinator shared by all ranks of one run.
-pub struct Hub {
-    size: usize,
-    state: Mutex<HubState>,
+/// One leaf shard: `O(P/S)` ranks behind one lock, plus its position in the
+/// reduction tree.
+struct Shard {
+    /// First global rank of this shard (`ranks = base..base + width`).
+    base: usize,
+    /// Parent node index in [`Hub::nodes`], `None` when the shard is the
+    /// tree root (single-shard hub).
+    parent: Option<usize>,
+    state: Mutex<ShardState>,
+    /// Blocking-mode waiters of this shard (threaded backend): both the
+    /// entry guard and the round-completion wait park here.
     cond: Condvar,
 }
 
+/// Internal reduction-tree node: fan-in counters for round completion and
+/// drain. Only one rank per child touches a node per round (the one that
+/// completed/drained the child), so plain atomics suffice — the counter
+/// resets itself when the last child reports, ready for the next
+/// generation (the next round cannot reach the node before the current one
+/// fully drains).
+struct TreeNode {
+    parent: Option<usize>,
+    children: usize,
+    arrived: AtomicUsize,
+    drained: AtomicUsize,
+}
+
+/// Rendezvous coordinator shared by all ranks of one run: `S` leaf shards
+/// combined by a fixed-arity reduction tree.
+pub struct Hub {
+    size: usize,
+    /// Ranks per shard (`ceil(size / shard_count)`); the last shard may
+    /// hold fewer ("ragged").
+    shard_width: usize,
+    shards: Vec<Shard>,
+    /// Internal tree nodes, leaves-to-root; empty for a single shard.
+    nodes: Vec<TreeNode>,
+}
+
 impl Hub {
-    /// Create a hub for `size` ranks.
+    /// Create a single-shard hub for `size` ranks (the degenerate
+    /// configuration, equivalent to the pre-shard global-mutex hub).
     pub fn new(size: usize) -> Self {
+        Self::with_shards(size, 1)
+    }
+
+    /// Create a hub for `size` ranks over (up to) `shards` leaf shards.
+    /// The effective shard count is clamped to `[1, size]`; ranks map to
+    /// shards by `rank / ceil(size / shards)`.
+    pub fn with_shards(size: usize, shards: usize) -> Self {
         assert!(size >= 1, "a run needs at least one rank");
-        Self {
-            size,
-            state: Mutex::new(HubState {
-                generation: 0,
-                op_name: None,
-                values: (0..size).map(|_| None).collect(),
-                arrived: 0,
-                max_clock: VirtualTime::ZERO,
-                result: None,
-                result_max_clock: VirtualTime::ZERO,
-                departed: 0,
-                wakers: (0..size).map(|_| None).collect(),
-            }),
-            cond: Condvar::new(),
+        let shard_width = size.div_ceil(shards.clamp(1, size));
+        let shard_count = size.div_ceil(shard_width);
+
+        let mut shards: Vec<Shard> = (0..shard_count)
+            .map(|s| {
+                let base = s * shard_width;
+                let width = shard_width.min(size - base);
+                Shard {
+                    base,
+                    parent: None,
+                    state: Mutex::new(ShardState::new(width)),
+                    cond: Condvar::new(),
+                }
+            })
+            .collect();
+
+        // Build the reduction tree bottom-up: group the shards (then each
+        // node level) by TREE_ARITY until a single root remains.
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        if shard_count > 1 {
+            let mut level_len = shard_count.div_ceil(TREE_ARITY);
+            for j in 0..level_len {
+                let children = TREE_ARITY.min(shard_count - j * TREE_ARITY);
+                nodes.push(TreeNode {
+                    parent: None,
+                    children,
+                    arrived: AtomicUsize::new(0),
+                    drained: AtomicUsize::new(0),
+                });
+            }
+            for (s, shard) in shards.iter_mut().enumerate() {
+                shard.parent = Some(s / TREE_ARITY);
+            }
+            let mut level_start = 0;
+            while level_len > 1 {
+                let next_start = nodes.len();
+                let next_len = level_len.div_ceil(TREE_ARITY);
+                for j in 0..next_len {
+                    let children = TREE_ARITY.min(level_len - j * TREE_ARITY);
+                    nodes.push(TreeNode {
+                        parent: None,
+                        children,
+                        arrived: AtomicUsize::new(0),
+                        drained: AtomicUsize::new(0),
+                    });
+                }
+                for j in 0..level_len {
+                    nodes[level_start + j].parent = Some(next_start + j / TREE_ARITY);
+                }
+                level_start = next_start;
+                level_len = next_len;
+            }
         }
+
+        Self { size, shard_width, shards, nodes }
     }
 
     /// Number of participating ranks.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Number of leaf shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The leaf shard holding `rank`.
+    pub fn shard_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.size);
+        rank / self.shard_width
+    }
+
+    /// Walk one fan-in counter from `start` towards the root; returns
+    /// `true` when the walk completed the root (i.e. every shard reported).
+    /// Counters self-reset on the last report — safe because the next
+    /// round's reports are gated behind the current round's full drain.
+    fn propagate(&self, start: Option<usize>, which: impl Fn(&TreeNode) -> &AtomicUsize) -> bool {
+        let mut cur = start;
+        while let Some(i) = cur {
+            let node = &self.nodes[i];
+            if which(node).fetch_add(1, Ordering::AcqRel) + 1 < node.children {
+                return false;
+            }
+            which(node).store(0, Ordering::Release);
+            cur = node.parent;
+        }
+        true
+    }
+
+    /// Root of the reduction: every shard completed, so assemble the
+    /// rank-indexed result (shard order = rank order, hence bit-identical
+    /// for any shard count) and distribute it back to the shards. Returns
+    /// the parked wakers to wake once no locks are held.
+    fn complete_round<T: Send + Sync + 'static>(&self, op_name: &'static str) -> Vec<Waker> {
+        let mut vec: Vec<T> = Vec::with_capacity(self.size);
+        let mut max_clock = VirtualTime::ZERO;
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let mut st = shard.state.lock();
+            let shard_op = st.op_name.expect("completed shard has an op");
+            assert_eq!(
+                shard_op, op_name,
+                "collective mismatch across hub shards: shard {idx} is in \
+                 `{shard_op}` while the completing rank is in `{op_name}` \
+                 (generation {})",
+                st.generation
+            );
+            debug_assert_eq!(st.arrived, st.values.len(), "shard {idx} incomplete at assembly");
+            for slot in st.values.iter_mut() {
+                let boxed = slot.take().expect("all ranks of a completed round deposited");
+                vec.push(*boxed.downcast::<T>().unwrap_or_else(|_| {
+                    panic!(
+                        "collective `{op_name}`: payload type mismatch \
+                         across ranks"
+                    )
+                }));
+            }
+            max_clock = max_clock.max(st.max_clock);
+        }
+        let arc = Arc::new(vec);
+        let mut to_wake = Vec::new();
+        for shard in &self.shards {
+            let mut st = shard.state.lock();
+            st.result = Some(Box::new(Arc::clone(&arc)));
+            st.result_max_clock = max_clock;
+            to_wake.extend(st.take_wakers());
+            shard.cond.notify_all();
+        }
+        to_wake
+    }
+
+    /// Root of the drain reduction: every shard fully departed, so reset
+    /// all shards for the next generation and reopen entry. Returns the
+    /// parked wakers (entry-guard waiters) to wake once no locks are held.
+    fn reopen_entry(&self) -> Vec<Waker> {
+        let mut to_wake = Vec::new();
+        for shard in &self.shards {
+            let mut st = shard.state.lock();
+            debug_assert!(st.values.iter().all(Option::is_none));
+            st.result = None;
+            st.arrived = 0;
+            st.departed = 0;
+            st.max_clock = VirtualTime::ZERO;
+            st.op_name = None;
+            st.generation += 1;
+            st.entry_open = true;
+            to_wake.extend(st.take_wakers());
+            shard.cond.notify_all();
+        }
+        to_wake
     }
 
     /// Perform one all-to-all exchange, **blocking** the calling OS thread
@@ -197,35 +394,50 @@ impl Hub {
         clock: VirtualTime,
     ) -> ExchangeRound<T> {
         assert!(rank < self.size, "rank {rank} out of range (size {})", self.size);
-        let mut st = self.state.lock();
+        self.exchange_in_shard(self.shard_of(rank), rank, op_name, value, clock)
+    }
+
+    /// [`Hub::exchange`] with the shard precomputed (the per-rank
+    /// [`crate::ctx::SpmdCtx`] caches it for the whole run).
+    pub(crate) fn exchange_in_shard<T: Send + Sync + 'static>(
+        &self,
+        shard_idx: usize,
+        rank: usize,
+        op_name: &'static str,
+        value: T,
+        clock: VirtualTime,
+    ) -> ExchangeRound<T> {
+        let shard = &self.shards[shard_idx];
+        let local = rank - shard.base;
+        let mut st = shard.state.lock();
 
         // Entry guard: the previous round must be fully drained.
-        while !st.entry_open() {
-            self.cond.wait(&mut st);
+        while !st.entry_open {
+            shard.cond.wait(&mut st);
         }
-        st.deposit(self.size, rank, op_name, value, clock);
         let mut to_wake = Vec::new();
-        if st.result.is_some() {
-            // Last to arrive completed the round: release the waiters.
-            self.cond.notify_all();
-            to_wake = st.take_wakers();
-        } else {
-            while st.result.is_none() {
-                self.cond.wait(&mut st);
+        if st.deposit(local, rank, op_name, value, clock) {
+            // Last of the shard: report up the tree, outside the shard lock
+            // (the root assembly revisits every shard, including this one).
+            drop(st);
+            if self.propagate(shard.parent, |n| &n.arrived) {
+                to_wake = self.complete_round::<T>(op_name);
             }
+            st = shard.state.lock();
+        }
+        while st.result.is_none() {
+            shard.cond.wait(&mut st);
         }
 
-        // Drain phase: read the shared result.
-        let (round, last_out) = st.collect(self.size, op_name).expect("result present after wait");
-        if last_out {
-            // Release the entry-guard waiters of the next round.
-            self.cond.notify_all();
-            to_wake.extend(st.take_wakers());
-        }
+        // Drain phase: read the distributed result.
+        let (round, shard_drained) = st.collect(op_name).expect("result present after wait");
         drop(st);
-        for waker in to_wake {
-            waker.wake();
+        if shard_drained && self.propagate(shard.parent, |n| &n.drained) {
+            // Globally last out: release the entry-guard waiters of the
+            // next round.
+            to_wake.extend(self.reopen_entry());
         }
+        wake_batched(to_wake);
         round
     }
 
@@ -235,6 +447,7 @@ impl Hub {
     /// deposit that completes the round, every parked rank is woken.
     pub(crate) fn poll_deposit<T: Send + Sync + 'static>(
         &self,
+        shard_idx: usize,
         rank: usize,
         op_name: &'static str,
         value: T,
@@ -242,16 +455,19 @@ impl Hub {
         waker: &Waker,
     ) -> Result<(), T> {
         assert!(rank < self.size, "rank {rank} out of range (size {})", self.size);
-        let mut st = self.state.lock();
-        if !st.entry_open() {
-            st.wakers[rank] = Some(waker.clone());
+        let shard = &self.shards[shard_idx];
+        let local = rank - shard.base;
+        let mut st = shard.state.lock();
+        if !st.entry_open {
+            st.wakers[local] = Some(waker.clone());
             return Err(value);
         }
-        st.deposit(self.size, rank, op_name, value, clock);
-        let to_wake = if st.result.is_some() { st.take_wakers() } else { Vec::new() };
-        drop(st);
-        for parked in to_wake {
-            parked.wake();
+        if st.deposit(local, rank, op_name, value, clock) {
+            drop(st);
+            if self.propagate(shard.parent, |n| &n.arrived) {
+                let to_wake = self.complete_round::<T>(op_name);
+                wake_batched(to_wake);
+            }
         }
         Ok(())
     }
@@ -262,22 +478,25 @@ impl Hub {
     /// entry and wakes every rank parked on the entry guard.
     pub(crate) fn poll_collect<T: Send + Sync + 'static>(
         &self,
+        shard_idx: usize,
         rank: usize,
         op_name: &'static str,
         waker: &Waker,
     ) -> Option<ExchangeRound<T>> {
-        let mut st = self.state.lock();
-        match st.collect(self.size, op_name) {
-            Some((round, last_out)) => {
-                let to_wake = if last_out { st.take_wakers() } else { Vec::new() };
+        let shard = &self.shards[shard_idx];
+        let local = rank - shard.base;
+        let mut st = shard.state.lock();
+        match st.collect(op_name) {
+            Some((round, shard_drained)) => {
                 drop(st);
-                for parked in to_wake {
-                    parked.wake();
+                if shard_drained && self.propagate(shard.parent, |n| &n.drained) {
+                    let to_wake = self.reopen_entry();
+                    wake_batched(to_wake);
                 }
                 Some(round)
             }
             None => {
-                st.wakers[rank] = Some(waker.clone());
+                st.wakers[local] = Some(waker.clone());
                 None
             }
         }
@@ -289,6 +508,15 @@ mod tests {
     use super::*;
     use std::thread;
 
+    /// Shard counts exercised by every sharded test: degenerate, even
+    /// split, ragged (non-dividing), and fully sharded (one rank each).
+    fn shard_sweep(size: usize) -> Vec<usize> {
+        let mut s = vec![1, 2, 7, size];
+        s.retain(|&c| c >= 1);
+        s.dedup();
+        s
+    }
+
     #[test]
     fn single_rank_exchange_is_immediate() {
         let hub = Hub::new(1);
@@ -298,20 +526,58 @@ mod tests {
     }
 
     #[test]
+    fn shard_layout_covers_all_ranks() {
+        for size in [1usize, 2, 5, 8, 10, 17, 64, 100] {
+            for shards in [1usize, 2, 3, 4, 7, 16, 100] {
+                let hub = Hub::with_shards(size, shards);
+                assert!(hub.shard_count() >= 1 && hub.shard_count() <= shards.clamp(1, size));
+                // Every rank maps to a valid shard; shard ids are monotone.
+                let mut prev = 0;
+                for rank in 0..size {
+                    let s = hub.shard_of(rank);
+                    assert!(s < hub.shard_count(), "rank {rank} of {size} → shard {s}");
+                    assert!(s >= prev);
+                    prev = s;
+                }
+                assert_eq!(hub.shard_of(size - 1), hub.shard_count() - 1);
+            }
+        }
+    }
+
+    #[test]
     fn values_are_rank_indexed() {
-        let hub = Hub::new(8);
+        for shards in shard_sweep(8) {
+            let hub = Hub::with_shards(8, shards);
+            thread::scope(|s| {
+                for rank in 0..8usize {
+                    let hub = &hub;
+                    s.spawn(move || {
+                        let round = hub.exchange(
+                            rank,
+                            "gather-ranks",
+                            rank * 10,
+                            VirtualTime::from_secs(rank as f64),
+                        );
+                        assert_eq!(*round.values, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+                        assert_eq!(round.max_clock.as_secs(), 7.0);
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn ragged_last_shard_exchanges_correctly() {
+        // 10 ranks over width-3 shards: 3 + 3 + 3 + 1.
+        let hub = Hub::with_shards(10, 4);
+        assert_eq!(hub.shard_count(), 4);
+        assert_eq!(hub.shard_of(9), 3);
         thread::scope(|s| {
-            for rank in 0..8usize {
+            for rank in 0..10usize {
                 let hub = &hub;
                 s.spawn(move || {
-                    let round = hub.exchange(
-                        rank,
-                        "gather-ranks",
-                        rank * 10,
-                        VirtualTime::from_secs(rank as f64),
-                    );
-                    assert_eq!(*round.values, (0..8).map(|r| r * 10).collect::<Vec<_>>());
-                    assert_eq!(round.max_clock.as_secs(), 7.0);
+                    let round = hub.exchange(rank, "ragged", rank as u64, VirtualTime::ZERO);
+                    assert_eq!(*round.values, (0..10u64).collect::<Vec<_>>());
                 });
             }
         });
@@ -319,46 +585,52 @@ mod tests {
 
     #[test]
     fn consecutive_rounds_do_not_mix() {
-        let hub = Hub::new(4);
-        thread::scope(|s| {
-            for rank in 0..4usize {
-                let hub = &hub;
-                s.spawn(move || {
-                    for round_idx in 0..100u64 {
-                        let round = hub.exchange(
-                            rank,
-                            "loop",
-                            (rank as u64, round_idx),
-                            VirtualTime::from_secs(round_idx as f64),
-                        );
-                        for (r, &(vr, vi)) in round.values.iter().enumerate() {
-                            assert_eq!(vr, r as u64);
-                            assert_eq!(vi, round_idx, "round {round_idx} mixed with {vi}");
+        for shards in shard_sweep(4) {
+            let hub = Hub::with_shards(4, shards);
+            thread::scope(|s| {
+                for rank in 0..4usize {
+                    let hub = &hub;
+                    s.spawn(move || {
+                        for round_idx in 0..100u64 {
+                            let round = hub.exchange(
+                                rank,
+                                "loop",
+                                (rank as u64, round_idx),
+                                VirtualTime::from_secs(round_idx as f64),
+                            );
+                            for (r, &(vr, vi)) in round.values.iter().enumerate() {
+                                assert_eq!(vr, r as u64);
+                                assert_eq!(vi, round_idx, "round {round_idx} mixed with {vi}");
+                            }
                         }
-                    }
-                });
-            }
-        });
+                    });
+                }
+            });
+        }
     }
 
     #[test]
     fn max_clock_is_maximum_of_deposits() {
-        let hub = Hub::new(3);
-        thread::scope(|s| {
-            for rank in 0..3usize {
-                let hub = &hub;
-                s.spawn(move || {
-                    let clock = VirtualTime::from_secs([0.5, 9.25, 3.0][rank]);
-                    let round = hub.exchange(rank, "clocks", (), clock);
-                    assert_eq!(round.max_clock.as_secs(), 9.25);
-                });
-            }
-        });
+        for shards in shard_sweep(3) {
+            let hub = Hub::with_shards(3, shards);
+            thread::scope(|s| {
+                for rank in 0..3usize {
+                    let hub = &hub;
+                    s.spawn(move || {
+                        let clock = VirtualTime::from_secs([0.5, 9.25, 3.0][rank]);
+                        let round = hub.exchange(rank, "clocks", (), clock);
+                        assert_eq!(round.max_clock.as_secs(), 9.25);
+                    });
+                }
+            });
+        }
     }
 
     #[test]
-    fn many_ranks_heavy_payloads() {
-        let hub = Hub::new(64);
+    fn many_ranks_heavy_payloads_multi_level_tree() {
+        // 64 ranks over 32 shards: two internal tree levels (32 → 8 → 2 → 1).
+        let hub = Hub::with_shards(64, 32);
+        assert_eq!(hub.shard_count(), 32);
         thread::scope(|s| {
             for rank in 0..64usize {
                 let hub = &hub;
@@ -374,37 +646,57 @@ mod tests {
 
     #[test]
     fn nonblocking_protocol_completes_a_round() {
-        let hub = Hub::new(3);
-        let noop = Waker::noop();
-        for rank in 0..3usize {
-            assert!(hub
-                .poll_deposit(rank, "poll", rank as u32, VirtualTime::from_secs(rank as f64), noop)
-                .is_ok());
-            if rank < 2 {
-                assert!(hub.poll_collect::<u32>(rank, "poll", noop).is_none(), "round incomplete");
+        for shards in shard_sweep(3) {
+            let hub = Hub::with_shards(3, shards);
+            let noop = Waker::noop();
+            for rank in 0..3usize {
+                let s = hub.shard_of(rank);
+                assert!(hub
+                    .poll_deposit(
+                        s,
+                        rank,
+                        "poll",
+                        rank as u32,
+                        VirtualTime::from_secs(rank as f64),
+                        noop
+                    )
+                    .is_ok());
+                if rank < 2 {
+                    assert!(
+                        hub.poll_collect::<u32>(s, rank, "poll", noop).is_none(),
+                        "round incomplete"
+                    );
+                }
             }
+            for rank in 0..3usize {
+                let s = hub.shard_of(rank);
+                let round = hub.poll_collect::<u32>(s, rank, "poll", noop).expect("round complete");
+                assert_eq!(*round.values, vec![0, 1, 2]);
+                assert_eq!(round.max_clock.as_secs(), 2.0);
+            }
+            // Fully drained: the next round may start.
+            assert!(hub
+                .poll_deposit(hub.shard_of(0), 0, "poll", 9u32, VirtualTime::ZERO, noop)
+                .is_ok());
         }
-        for rank in 0..3usize {
-            let round = hub.poll_collect::<u32>(rank, "poll", noop).expect("round complete");
-            assert_eq!(*round.values, vec![0, 1, 2]);
-            assert_eq!(round.max_clock.as_secs(), 2.0);
-        }
-        // Fully drained: the next round may start.
-        assert!(hub.poll_deposit(0, "poll", 9u32, VirtualTime::ZERO, noop).is_ok());
     }
 
     #[test]
     fn nonblocking_deposit_rejected_until_drained() {
-        let hub = Hub::new(2);
-        let noop = Waker::noop();
-        assert!(hub.poll_deposit(0, "guard", 1u8, VirtualTime::ZERO, noop).is_ok());
-        assert!(hub.poll_deposit(1, "guard", 2u8, VirtualTime::ZERO, noop).is_ok());
-        // Round complete but undrained: rank 0 cannot enter the next round.
-        let _ = hub.poll_collect::<u8>(0, "guard", noop).expect("complete");
-        assert_eq!(hub.poll_deposit(0, "guard", 3u8, VirtualTime::ZERO, noop), Err(3u8));
-        let _ = hub.poll_collect::<u8>(1, "guard", noop).expect("complete");
-        // Now both departed: entry reopens.
-        assert!(hub.poll_deposit(0, "guard", 3u8, VirtualTime::ZERO, noop).is_ok());
+        for shards in shard_sweep(2) {
+            let hub = Hub::with_shards(2, shards);
+            let noop = Waker::noop();
+            let s0 = hub.shard_of(0);
+            let s1 = hub.shard_of(1);
+            assert!(hub.poll_deposit(s0, 0, "guard", 1u8, VirtualTime::ZERO, noop).is_ok());
+            assert!(hub.poll_deposit(s1, 1, "guard", 2u8, VirtualTime::ZERO, noop).is_ok());
+            // Round complete but undrained: rank 0 cannot enter the next round.
+            let _ = hub.poll_collect::<u8>(s0, 0, "guard", noop).expect("complete");
+            assert_eq!(hub.poll_deposit(s0, 0, "guard", 3u8, VirtualTime::ZERO, noop), Err(3u8));
+            let _ = hub.poll_collect::<u8>(s1, 1, "guard", noop).expect("complete");
+            // Now both departed: entry reopens.
+            assert!(hub.poll_deposit(s0, 0, "guard", 3u8, VirtualTime::ZERO, noop).is_ok());
+        }
     }
 
     #[test]
@@ -419,23 +711,74 @@ mod tests {
             }
         }
 
-        let wakes = Arc::new(AtomicUsize::new(0));
-        let waker = std::task::Waker::from(Arc::new(CountingWaker(Arc::clone(&wakes))));
-        let hub = Hub::new(2);
+        for shards in shard_sweep(2) {
+            let wakes = Arc::new(AtomicUsize::new(0));
+            let waker = std::task::Waker::from(Arc::new(CountingWaker(Arc::clone(&wakes))));
+            let hub = Hub::with_shards(2, shards);
+            let s0 = hub.shard_of(0);
+            let s1 = hub.shard_of(1);
 
-        // Rank 0 deposits and parks on collect; rank 1's completing deposit
-        // must wake it.
-        assert!(hub.poll_deposit(0, "wake", 1u8, VirtualTime::ZERO, &waker).is_ok());
-        assert!(hub.poll_collect::<u8>(0, "wake", &waker).is_none());
-        assert_eq!(wakes.load(Ordering::SeqCst), 0);
-        assert!(hub.poll_deposit(1, "wake", 2u8, VirtualTime::ZERO, Waker::noop()).is_ok());
-        assert_eq!(wakes.load(Ordering::SeqCst), 1, "round completion wakes parked ranks");
+            // Rank 0 deposits and parks on collect; rank 1's completing
+            // deposit must wake it — across shards when S = 2.
+            assert!(hub.poll_deposit(s0, 0, "wake", 1u8, VirtualTime::ZERO, &waker).is_ok());
+            assert!(hub.poll_collect::<u8>(s0, 0, "wake", &waker).is_none());
+            assert_eq!(wakes.load(Ordering::SeqCst), 0);
+            assert!(hub.poll_deposit(s1, 1, "wake", 2u8, VirtualTime::ZERO, Waker::noop()).is_ok());
+            assert_eq!(wakes.load(Ordering::SeqCst), 1, "round completion wakes parked ranks");
 
-        // Rank 0 drains and immediately parks on the next round's entry
-        // guard; rank 1's final drain must wake it.
-        let _ = hub.poll_collect::<u8>(0, "wake", Waker::noop()).expect("complete");
-        assert_eq!(hub.poll_deposit(0, "wake", 3u8, VirtualTime::ZERO, &waker), Err(3u8));
-        let _ = hub.poll_collect::<u8>(1, "wake", Waker::noop()).expect("complete");
-        assert_eq!(wakes.load(Ordering::SeqCst), 2, "entry reopening wakes parked ranks");
+            // Rank 0 drains and immediately parks on the next round's entry
+            // guard; rank 1's final drain must wake it.
+            let _ = hub.poll_collect::<u8>(s0, 0, "wake", Waker::noop()).expect("complete");
+            assert_eq!(hub.poll_deposit(s0, 0, "wake", 3u8, VirtualTime::ZERO, &waker), Err(3u8));
+            let _ = hub.poll_collect::<u8>(s1, 1, "wake", Waker::noop()).expect("complete");
+            assert_eq!(wakes.load(Ordering::SeqCst), 2, "entry reopening wakes parked ranks");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collective mismatch")]
+    fn cross_shard_op_mismatch_panics_at_assembly() {
+        // Two single-rank shards: neither shard sees the other's op name
+        // at deposit time, so the mismatch is caught by the root assembly.
+        let hub = Hub::with_shards(2, 2);
+        let noop = Waker::noop();
+        assert!(hub.poll_deposit(0, 0, "barrier", (), VirtualTime::ZERO, noop).is_ok());
+        let _ = hub.poll_deposit(1, 1, "allreduce", (), VirtualTime::ZERO, noop);
+    }
+
+    #[test]
+    fn sharded_and_unsharded_agree_over_many_generations() {
+        // The degenerate S = 1 hub is the reference; every shard count must
+        // produce byte-identical rounds for the same deposits.
+        let size = 10usize;
+        let rounds = 25u64;
+        let run = |shards: usize| -> Vec<(Vec<u64>, f64)> {
+            let hub = Hub::with_shards(size, shards);
+            let out = Mutex::new(Vec::new());
+            thread::scope(|s| {
+                for rank in 0..size {
+                    let hub = &hub;
+                    let out = &out;
+                    s.spawn(move || {
+                        for g in 0..rounds {
+                            let round = hub.exchange(
+                                rank,
+                                "agree",
+                                rank as u64 * 1000 + g,
+                                VirtualTime::from_secs((rank as f64) * 0.25 + g as f64),
+                            );
+                            if rank == 0 {
+                                out.lock().push((round.values.to_vec(), round.max_clock.as_secs()));
+                            }
+                        }
+                    });
+                }
+            });
+            out.into_inner()
+        };
+        let reference = run(1);
+        for shards in [2usize, 3, 4, 7, 10] {
+            assert_eq!(run(shards), reference, "shards = {shards}");
+        }
     }
 }

@@ -33,8 +33,15 @@
 //!   deposit/post that unblocks them. Combines sequential's scale with
 //!   threaded's parallelism: `P = 16384` runs multi-core.
 //!
+//! Collectives rendezvous at a **sharded** hub: ranks deposit into
+//! `S` leaf shards (one lock each, [`RunConfig::with_hub_shards`] /
+//! `ULBA_HUB_SHARDS`; default `min(workers, 64)`) whose completions
+//! combine up a fixed-arity reduction tree, so at `P = 16384` a deposit
+//! contends with `P/S` ranks instead of all of them.
+//!
 //! All backends drive the same accounting, collective semantics, and
-//! message matching, so they produce **bit-identical** [`RunReport`]s.
+//! message matching, so they produce **bit-identical** [`RunReport`]s —
+//! for any backend **and any hub shard count**.
 //! If the threaded backend cannot spawn its rank threads (large `P`),
 //! [`run`] transparently falls back to the sequential backend;
 //! [`try_run`] surfaces the failure as a [`RunError`] instead. Deadlocked
@@ -384,23 +391,40 @@ mod tests {
     /// The satellite regression: a mismatched collective (one rank never
     /// joins the barrier) must surface as a structured
     /// [`RunError::Deadlock`] through [`try_run`] naming the stuck ranks —
-    /// on both deadlock-detecting backends, which share one reporting path.
+    /// on both deadlock-detecting backends, which share one reporting
+    /// path, and for every hub shard count (the blocked set must not
+    /// depend on how the rendezvous is sharded).
     #[test]
     fn try_run_reports_deadlock_on_mismatched_collective() {
         for backend in [Backend::Sequential, Backend::Parallel] {
-            let config = RunConfig::new(4).with_backend(backend).with_workers(2);
-            let result = try_run(config, |mut ctx| async move {
-                if ctx.rank() != 0 {
-                    // Rank 0 never joins: the barrier can never complete.
-                    ctx.barrier().await;
+            for hub_shards in [1usize, 2, 4] {
+                let config = RunConfig::new(4)
+                    .with_backend(backend)
+                    .with_workers(2)
+                    .with_hub_shards(hub_shards);
+                let result = try_run(config, |mut ctx| async move {
+                    if ctx.rank() != 0 {
+                        // Rank 0 never joins: the barrier can never complete.
+                        ctx.barrier().await;
+                    }
+                });
+                match result {
+                    Err(RunError::Deadlock { blocked, ranks, shards }) => {
+                        assert_eq!(ranks, 4, "{backend} S={hub_shards}");
+                        assert_eq!(blocked, vec![1, 2, 3], "{backend} S={hub_shards}");
+                        // Ranks 1–3 span ceil(3 / width) shards of width
+                        // ceil(4 / S): all of them except rank 0's when
+                        // the shards are single-rank.
+                        let width = 4usize.div_ceil(hub_shards);
+                        let expect: Vec<usize> = {
+                            let mut s: Vec<usize> = [1, 2, 3].iter().map(|r| r / width).collect();
+                            s.dedup();
+                            s
+                        };
+                        assert_eq!(shards, expect, "{backend} S={hub_shards}");
+                    }
+                    other => panic!("{backend} S={hub_shards}: expected a deadlock, got {other:?}"),
                 }
-            });
-            match result {
-                Err(RunError::Deadlock { blocked, ranks }) => {
-                    assert_eq!(ranks, 4, "{backend}");
-                    assert_eq!(blocked, vec![1, 2, 3], "{backend}");
-                }
-                other => panic!("{backend}: expected a deadlock, got {other:?}"),
             }
         }
     }
@@ -478,6 +502,25 @@ mod tests {
         });
         assert_eq!(report.rank_metrics.len(), 4);
         assert!((report.makespan().as_secs() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hub_shard_resolution() {
+        // Explicit counts win and are clamped to [1, ranks].
+        let cfg = RunConfig::new(16).with_backend(Backend::Parallel);
+        assert_eq!(cfg.clone().with_hub_shards(4).effective_hub_shards(), 4);
+        assert_eq!(cfg.clone().with_hub_shards(64).effective_hub_shards(), 16);
+        assert_eq!(cfg.clone().with_hub_shards(1).effective_hub_shards(), 1);
+        // Automatic: the sequential scheduler keeps one shard; parallel
+        // shards by worker count, capped at 64 and at the rank count.
+        let seq = RunConfig::new(16).with_backend(Backend::Sequential).with_hub_shards(0);
+        assert_eq!(seq.effective_hub_shards(), 1);
+        let par = RunConfig::new(512).with_backend(Backend::Parallel).with_workers(3);
+        assert_eq!(par.clone().with_hub_shards(0).effective_hub_shards(), 3);
+        let wide = par.with_workers(200).with_hub_shards(0);
+        assert_eq!(wide.effective_hub_shards(), 64, "auto sharding caps at 64");
+        let tiny = RunConfig::new(2).with_backend(Backend::Parallel).with_workers(200);
+        assert!(tiny.with_hub_shards(0).effective_hub_shards() <= 2);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! threaded backend blocks in [`MailboxSet::recv`] on a condvar, while the
 //! cooperative backends poll [`MailboxSet::poll_recv`], which parks the
 //! rank's [`Waker`] under the inbox lock so that the `post` making a
-//! message available can wake exactly the rank suspended on it.
+//! message available can wake exactly the rank suspended on it — at most
+//! one waker per post, so the mailbox wakes directly; only the sharded
+//! hub's shard-sized wake sets go through the parallel backend's batched
+//! path ([`crate::exec::parallel::wake_batched`]).
 
 use crate::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};

@@ -1,0 +1,213 @@
+//! Shard-count equivalence of the reduction-tree rendezvous hub.
+//!
+//! The hub shard count is a pure contention knob: for **any** `S` —
+//! degenerate (`S = 1`, the old single-mutex hub), even, ragged
+//! (`S` not dividing `P`, so the last shard holds fewer ranks), or fully
+//! sharded (`S = P`) — and **any** execution backend, a program's
+//! [`RunReport`] must be bit-identical. These tests are the proof the
+//! sharded hub ships with: randomized programs and topologies across the
+//! full `S × backend` matrix, plus deadlock reporting when the stuck ranks
+//! span several shards.
+
+use proptest::prelude::*;
+use ulba_runtime::{run, try_run, Backend, RunConfig, RunError, RunReport, SpmdCtx};
+
+/// Shard counts every equivalence case sweeps: degenerate, small, a prime
+/// that leaves the last shard ragged for most `P`, and one-rank-per-shard.
+fn shard_sweep(ranks: usize) -> Vec<usize> {
+    let mut sweep = vec![1usize, 2, 7, ranks];
+    sweep.retain(|&s| s >= 1);
+    sweep.dedup();
+    sweep
+}
+
+/// A BSP program exercising the full ctx surface: rank-skewed compute,
+/// ring p2p, two collectives per round, and an LB section on one round —
+/// every hub generation runs deposit → tree combine → assemble → drain.
+async fn mixed_body(mut ctx: SpmdCtx, rounds: u64, flops_scale: f64) {
+    for iter in 0..rounds {
+        ctx.compute(flops_scale * ((ctx.rank() % 5 + 1) as f64));
+        let next = (ctx.rank() + 1) % ctx.size();
+        let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        ctx.send(next, 11, (ctx.rank(), iter), 24);
+        let (from, i) = ctx.recv::<(usize, u64)>(prev, 11).await;
+        assert_eq!((from, i), (prev, iter));
+        let total = ctx.allreduce_sum(ctx.rank() as f64 + iter as f64).await;
+        assert!(total.is_finite());
+        let gathered = ctx.allgather(ctx.rank() as u32, 4).await;
+        assert_eq!(gathered[ctx.rank()], ctx.rank() as u32);
+        if iter == 1 {
+            ctx.begin_lb();
+            ctx.compute(flops_scale * 0.5);
+            let _ = ctx.allgather(ctx.rank(), 8).await;
+            ctx.end_lb();
+            if ctx.rank() == 0 {
+                ctx.mark_lb_event(iter);
+            }
+        }
+        ctx.barrier().await;
+        ctx.mark_iteration(iter);
+    }
+}
+
+fn report_for(
+    ranks: usize,
+    backend: Backend,
+    shards: usize,
+    workers: usize,
+    rounds: u64,
+    flops_scale: f64,
+) -> RunReport {
+    let config =
+        RunConfig::new(ranks).with_backend(backend).with_workers(workers).with_hub_shards(shards);
+    run(config, move |ctx| mixed_body(ctx, rounds, flops_scale))
+}
+
+/// Bit-level comparison of two [`RunReport`]s.
+fn assert_reports_identical(reference: &RunReport, other: &RunReport, label: &str) {
+    assert_eq!(
+        reference.makespan().as_secs().to_bits(),
+        other.makespan().as_secs().to_bits(),
+        "{label}: makespan"
+    );
+    assert_eq!(reference.rank_metrics, other.rank_metrics, "{label}: rank metrics");
+    assert_eq!(reference.final_clocks, other.final_clocks, "{label}: final clocks");
+    assert_eq!(reference.lb_iterations, other.lb_iterations, "{label}: LB iterations");
+    assert_eq!(reference.iterations.len(), other.iterations.len(), "{label}: iteration count");
+    for (a, b) in reference.iterations.iter().zip(&other.iterations) {
+        assert_eq!(a.iter, b.iter, "{label}");
+        assert_eq!(a.wall_time.to_bits(), b.wall_time.to_bits(), "{label}: iter {}", a.iter);
+        assert_eq!(a.mean_utilization.to_bits(), b.mean_utilization.to_bits(), "{label}");
+        assert_eq!(a.lb_active, b.lb_active, "{label}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized (P, S, workers, program): the single-shard threaded
+    /// report is the reference; every shard count of the sweep and every
+    /// backend must reproduce it bit-identically. `ranks` is drawn from a
+    /// range full of non-powers-of-two, so the `S = 7` leg regularly
+    /// leaves a ragged last shard.
+    #[test]
+    fn reports_identical_across_shards_and_backends(
+        ranks in 2usize..20,
+        workers in 1usize..5,
+        rounds in 1u64..5,
+        flops_scale in 1.0e5f64..1.0e8,
+        extra_shards in 1usize..32,
+    ) {
+        let reference = report_for(ranks, Backend::Threaded, 1, workers, rounds, flops_scale);
+        let mut sweep = shard_sweep(ranks);
+        sweep.push(extra_shards); // an arbitrary count on top of the fixed sweep
+        for backend in [Backend::Threaded, Backend::Sequential, Backend::Parallel] {
+            for &shards in &sweep {
+                let other = report_for(ranks, backend, shards, workers, rounds, flops_scale);
+                assert_reports_identical(
+                    &reference,
+                    &other,
+                    &format!("P={ranks} {backend} S={shards} workers={workers}"),
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance-criterion scale: `P = 128` across the full
+/// `S ∈ {1, 2, 7, 128} × backend` matrix (7 leaves a ragged last shard:
+/// 128 = 6·19 + 14).
+#[test]
+fn identical_at_128_ranks_all_shard_counts() {
+    let reference = report_for(128, Backend::Threaded, 1, 3, 3, 2.0e6);
+    for backend in [Backend::Threaded, Backend::Sequential, Backend::Parallel] {
+        for shards in shard_sweep(128) {
+            let other = report_for(128, backend, shards, 3, 3, 2.0e6);
+            assert_reports_identical(&reference, &other, &format!("P=128 {backend} S={shards}"));
+        }
+    }
+}
+
+/// Non-power-of-two `P` with every shard count: the ragged last shard
+/// (e.g. 97 ranks over width-14 shards → 6×14 + 13) must behave exactly
+/// like the full ones.
+#[test]
+fn identical_at_ragged_97_ranks() {
+    let reference = report_for(97, Backend::Sequential, 1, 2, 2, 5.0e5);
+    for backend in [Backend::Threaded, Backend::Sequential, Backend::Parallel] {
+        for shards in [1usize, 2, 7, 13, 96, 97] {
+            let other = report_for(97, backend, shards, 2, 2, 5.0e5);
+            assert_reports_identical(&reference, &other, &format!("P=97 {backend} S={shards}"));
+        }
+    }
+}
+
+/// Deadlock regression for the sharded hub: when the ranks stuck in a
+/// mismatched collective span several leaf shards, the structured
+/// [`RunError::Deadlock`] must still name exactly the blocked ranks — and
+/// the shard list must cover every shard holding one.
+#[test]
+fn deadlock_report_spans_multiple_shards() {
+    for backend in [Backend::Sequential, Backend::Parallel] {
+        // P = 8 over 4 width-2 shards; every odd rank joins a barrier the
+        // even ranks skip, so one rank per shard hangs.
+        let config = RunConfig::new(8).with_backend(backend).with_workers(2).with_hub_shards(4);
+        let result = try_run(config, |mut ctx| async move {
+            if ctx.rank() % 2 == 1 {
+                ctx.barrier().await;
+            }
+        });
+        match result {
+            Err(RunError::Deadlock { blocked, ranks, shards }) => {
+                assert_eq!(ranks, 8, "{backend}");
+                assert_eq!(blocked, vec![1, 3, 5, 7], "{backend}");
+                assert_eq!(shards, vec![0, 1, 2, 3], "{backend}: every shard holds a stuck rank");
+            }
+            other => panic!("{backend}: expected a deadlock, got {other:?}"),
+        }
+    }
+}
+
+/// A deadlock confined to a strict subset of the shards must name only
+/// those shards (the whole point of carrying shard ids at large `P`).
+#[test]
+fn deadlock_report_names_only_affected_shards() {
+    for backend in [Backend::Sequential, Backend::Parallel] {
+        // P = 12 over 4 width-3 shards; only ranks 6..9 (shards 2 and 3)
+        // wait on messages nobody sends.
+        let config = RunConfig::new(12).with_backend(backend).with_workers(2).with_hub_shards(4);
+        let result = try_run(config, |mut ctx| async move {
+            if (6..=9).contains(&ctx.rank()) {
+                let _: u8 = ctx.recv((ctx.rank() + 1) % ctx.size(), 99).await;
+            }
+        });
+        match result {
+            Err(RunError::Deadlock { blocked, ranks, shards }) => {
+                assert_eq!(ranks, 12, "{backend}");
+                assert_eq!(blocked, vec![6, 7, 8, 9], "{backend}");
+                assert_eq!(shards, vec![2, 3], "{backend}");
+            }
+            other => panic!("{backend}: expected a deadlock, got {other:?}"),
+        }
+    }
+}
+
+/// The satellite's `#[should_panic]`-free assertion on the [`run`] panic
+/// path: [`run`] panics with exactly the [`RunError`] display, so checking
+/// the formatted [`try_run`] error pins the panic message — which must
+/// carry the hub shard ids alongside the blocked ranks.
+#[test]
+fn deadlock_panic_message_names_shard_ids() {
+    let config = RunConfig::new(6).with_backend(Backend::Sequential).with_hub_shards(3);
+    let err = try_run(config, |mut ctx| async move {
+        if ctx.rank() >= 4 {
+            // Ranks 4 and 5 — both in shard 2 of the width-2 layout.
+            ctx.barrier().await;
+        }
+    })
+    .expect_err("two ranks hang in a barrier the others skip");
+    let message = err.to_string();
+    assert!(message.contains("permanently blocked"), "panic text changed: {message}");
+    assert!(message.contains("blocked ranks [4, 5]"), "missing rank list: {message}");
+    assert!(message.contains("hub shard [2]"), "missing shard id: {message}");
+}

@@ -92,17 +92,24 @@ proptest! {
     /// The threaded, sequential, and parallel backends produce bit-identical
     /// reports for arbitrary BSP programs mixing compute, ring p2p, and
     /// collectives (the parallel backend gets a small explicit worker count
-    /// so the property holds even on a single-core machine).
+    /// so the property holds even on a single-core machine). The hub shard
+    /// count rides along as a free dimension: it must never show up in a
+    /// report.
     #[test]
     fn backends_agree_on_random_programs(
         flops in proptest::collection::vec(1.0e5f64..1.0e9, 2..10),
         rounds in 1u64..5,
         workers in 1usize..5,
+        hub_shards in 1usize..9,
     ) {
         let ranks = flops.len();
         let go = |backend: Backend| {
             let flops_ref = flops.clone();
-            run(RunConfig::new(ranks).with_backend(backend).with_workers(workers), move |mut ctx| {
+            let config = RunConfig::new(ranks)
+                .with_backend(backend)
+                .with_workers(workers)
+                .with_hub_shards(hub_shards);
+            run(config, move |mut ctx| {
                 let flops = flops_ref.clone();
                 async move {
                     for iter in 0..rounds {

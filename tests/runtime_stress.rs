@@ -4,7 +4,7 @@
 
 use parking_lot::Mutex;
 use std::sync::Arc;
-use ulba::runtime::{run, EventKind, MachineSpec, RunConfig, TimeKind, Tracer};
+use ulba::runtime::{run, Backend, EventKind, MachineSpec, RunConfig, TimeKind, Tracer};
 
 #[test]
 fn mixed_collectives_and_p2p_many_rounds() {
@@ -136,6 +136,67 @@ fn tracer_captures_the_whole_protocol() {
     // Events are virtual-time ordered.
     assert!(timeline.windows(2).all(|w| w[0].at <= w[1].at));
     assert_eq!(tracer.dropped(), 0);
+}
+
+#[test]
+fn halo_only_stress_without_the_hub() {
+    // Satellite baseline for the sharded-hub numbers: a pure
+    // neighbor-exchange (halo) workload with **no global collective per
+    // iteration** — between the first and last barrier the rendezvous hub
+    // is never on the hot path, so the cooperative backends run on mailbox
+    // wakes alone. The wake-driven parallel scheduler must match the
+    // round-robin sequential scheduler and the blocking threaded backend
+    // bit-for-bit even when every suspension is a point-to-point wait.
+    let p = 48usize;
+    let rounds = 60u64;
+    let go = |backend: Backend| {
+        let config = RunConfig::new(p).with_backend(backend).with_workers(3);
+        run(config, move |mut ctx| async move {
+            let rank = ctx.rank();
+            let size = ctx.size();
+            let mut checksum = 0u64;
+            for round in 0..rounds {
+                // Rank-skewed compute so wake order differs from rank order.
+                ctx.compute(5.0e5 * ((rank * 13 % 7) as f64 + 1.0));
+                // Non-periodic halo: interior ranks talk to both sides,
+                // edge ranks to one — the message graph is irregular on
+                // purpose.
+                if rank > 0 {
+                    ctx.send(rank - 1, 21, ((rank as u64) << 32) | round, 128);
+                }
+                if rank + 1 < size {
+                    ctx.send(rank + 1, 22, ((rank as u64) << 32) | round, 128);
+                }
+                if rank + 1 < size {
+                    let from_right: u64 = ctx.recv(rank + 1, 21).await;
+                    assert_eq!(from_right, ((rank as u64 + 1) << 32) | round);
+                    checksum = checksum.wrapping_add(from_right);
+                }
+                if rank > 0 {
+                    let from_left: u64 = ctx.recv(rank - 1, 22).await;
+                    assert_eq!(from_left, ((rank as u64 - 1) << 32) | round);
+                    checksum = checksum.wrapping_add(from_left);
+                }
+                ctx.mark_iteration(round);
+            }
+            // One collective *after* the loop to cross-check the halo
+            // traffic; it is the only hub visit of the whole program.
+            let total = ctx.allreduce_sum(checksum as f64).await;
+            assert!(total > 0.0);
+        })
+    };
+    let reference = go(Backend::Threaded);
+    assert_eq!(reference.iterations.len(), rounds as usize);
+    for backend in [Backend::Sequential, Backend::Parallel] {
+        let other = go(backend);
+        assert_eq!(reference.rank_metrics, other.rank_metrics, "{backend}");
+        assert_eq!(reference.final_clocks, other.final_clocks, "{backend}");
+        assert_eq!(
+            reference.makespan().as_secs().to_bits(),
+            other.makespan().as_secs().to_bits(),
+            "{backend}"
+        );
+    }
 }
 
 #[test]
