@@ -1,10 +1,11 @@
-//! Microbenchmarks of the WIR-database gossip layer: merge throughput and
-//! rounds-to-convergence of each dissemination mode.
+//! Microbenchmarks of the WIR-database gossip layer: merge throughput,
+//! delta extraction, and rounds-to-convergence of each dissemination mode
+//! under both wire formats (full snapshots vs per-peer deltas).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ulba_core::db::{WirDatabase, WirEntry};
-use ulba_core::gossip::{simulate_rounds_to_completion, GossipMode};
+use ulba_core::gossip::{simulate_gossip, GossipMode, GossipWire};
 
 fn bench_db_merge(c: &mut Criterion) {
     let mut g = c.benchmark_group("wir_db_merge");
@@ -23,6 +24,27 @@ fn bench_db_merge(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_delta_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wir_db_delta_since");
+    for size in [256usize, 2048] {
+        // A database with every rank known, where only the last 16 updates
+        // are news past the watermark — the steady-state delta-gossip case.
+        let mut db = WirDatabase::new(size);
+        for r in 0..size {
+            db.update(WirEntry { rank: r, wir: r as f64, iteration: 1 });
+        }
+        let mark = db.version();
+        for r in 0..16 {
+            let rank = (r * 31) % size;
+            db.update(WirEntry { rank, wir: -1.0, iteration: 2 });
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(size), &db, |b, db| {
+            b.iter(|| black_box(db.delta_since(black_box(mark))).len())
+        });
+    }
+    g.finish();
+}
+
 fn bench_convergence(c: &mut Criterion) {
     let mut g = c.benchmark_group("rounds_to_completion");
     g.sample_size(10);
@@ -31,12 +53,14 @@ fn bench_convergence(c: &mut Criterion) {
         ("push2", GossipMode::RandomPush { fanout: 2 }),
         ("hybrid1", GossipMode::Hybrid { fanout: 1 }),
     ] {
-        g.bench_function(BenchmarkId::new(name, 256), |b| {
-            b.iter(|| simulate_rounds_to_completion(black_box(mode), 256, 13, 1024))
-        });
+        for (wire_name, wire) in [("full", GossipWire::Full), ("delta", GossipWire::delta())] {
+            g.bench_function(BenchmarkId::new(format!("{name}_{wire_name}"), 256), |b| {
+                b.iter(|| simulate_gossip(black_box(mode), wire, 256, 13, 1024).rounds)
+            });
+        }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_db_merge, bench_convergence);
+criterion_group!(benches, bench_db_merge, bench_delta_extraction, bench_convergence);
 criterion_main!(benches);

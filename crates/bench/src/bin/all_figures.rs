@@ -23,7 +23,7 @@ fn main() {
     figures::ablations::alpha_rule_ablation(&[32, 64], 11);
     figures::ablations::gossip_ablation(64, 11);
     figures::ablations::anticipation_ablation(&[32, 64, 128], 11);
-    figures::weak_scaling::run(&[64, 256], None, quick_mode());
+    figures::weak_scaling::run(&[64, 256], None, ulba_core::gossip::GossipWire::Full, quick_mode());
 
     eprintln!("\nall figures regenerated in {:.1?}", started.elapsed());
 }

@@ -6,16 +6,23 @@
 //! additionally uses all cores, tunable with `--workers N`).
 //! `--backends sequential,parallel` runs the sweep once per backend in a
 //! single invocation so their simulation wall-clocks can be compared;
-//! `--ranks 16384` narrows the sweep to one PE count; `--hub-shards N`
-//! pins the rendezvous-hub shard count (default: `min(workers, 64)`; the
-//! CI perf-trajectory job sweeps `1` vs default); `--smoke` (or
+//! `--ranks 16384` (or `--ranks 65536`, opened by the sparse WIR database)
+//! narrows the sweep to one PE count; `--hub-shards N` pins the
+//! rendezvous-hub shard count (default: `min(workers, 64)`; the CI
+//! perf-trajectory job sweeps `1` vs default); `--gossip-wire full|delta`
+//! (or `delta:<N>` for an anti-entropy period of `N` iterations) selects
+//! the gossip payload format — `full` matches the committed seed baselines
+//! bit-for-bit, `delta` is what the `P = 65536` CI leg runs; `--smoke` (or
 //! `ULBA_QUICK=1`) shrinks the domain for CI; `--json <path>` additionally
-//! writes the machine-readable perf-trajectory report covering every
-//! backend of the invocation (CI uploads it as `BENCH_weak_scaling.json`).
+//! writes the machine-readable schema-3 perf-trajectory report covering
+//! every backend of the invocation (CI uploads `BENCH_weak_scaling.json`
+//! and `BENCH_p65536.json`).
 use ulba_bench::figures::weak_scaling::{self, WEAK_SCALING_PE_COUNTS};
 use ulba_bench::output::{
-    apply_cli_backend, cli_backend, cli_backends, cli_json_path, cli_ranks, quick_mode,
+    apply_cli_backend, cli_backend, cli_backends, cli_gossip_wire, cli_json_path, cli_ranks,
+    quick_mode,
 };
+use ulba_core::gossip::GossipWire;
 
 fn main() {
     // Exports --workers as ULBA_WORKERS (and --backend as ULBA_BACKEND) so
@@ -26,10 +33,11 @@ fn main() {
         None => vec![cli_backend()],
     };
     let pes = cli_ranks().unwrap_or_else(|| WEAK_SCALING_PE_COUNTS.to_vec());
+    let wire = cli_gossip_wire().unwrap_or(GossipWire::Full);
     let smoke = quick_mode();
     let mut rows = Vec::new();
     for backend in backends {
-        rows.extend(weak_scaling::run(&pes, backend, smoke));
+        rows.extend(weak_scaling::run(&pes, backend, wire, smoke));
     }
     if let Some(path) = cli_json_path() {
         weak_scaling::write_json_report(&rows, smoke, &path);

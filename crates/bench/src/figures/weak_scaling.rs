@@ -6,23 +6,25 @@
 //! study keeps the per-PE domain fixed (weak scaling) and sweeps
 //! `P ∈ {64, 256, 1024, 4096}` under the standard method and ULBA, on a
 //! selectable runtime backend — the sequential and parallel backends are
-//! what make `P = 4096` (and `P = 16384`) tractable, since neither needs
-//! one OS thread per rank.
+//! what make `P = 4096` (and `P = 16384`, and with the sparse WIR database
+//! `P = 65536`) tractable, since neither needs one OS thread per rank.
 //!
 //! Reported per (P, policy): virtual makespan, LB calls, mean PE
 //! utilization, load-imbalance statistics (max/mean busy ratio, idle
-//! fraction), and the *real* wall-clock cost of simulating the run (the
-//! backend comparison axis). CSV: `results/weak_scaling_<backend>.csv` —
-//! one file per backend, so runs on different backends can be compared side
-//! by side instead of overwriting each other. [`write_json_report`]
-//! additionally emits one machine-readable JSON document covering all
-//! backends of an invocation (the CI perf-trajectory artifact
-//! `BENCH_weak_scaling.json`).
+//! fraction), the *real* wall-clock cost of simulating the run (the
+//! backend comparison axis), and the memory story — aggregate WIR-database
+//! entries plus the process's peak RSS — that gates the `P = 65536` CI
+//! leg. CSV: `results/weak_scaling_<backend>.csv` — one file per backend,
+//! so runs on different backends can be compared side by side instead of
+//! overwriting each other. [`write_json_report`] additionally emits one
+//! machine-readable JSON document (schema 3) covering all backends of an
+//! invocation (the CI perf-trajectory artifacts `BENCH_weak_scaling.json`
+//! and `BENCH_p65536.json`).
 
-use crate::output::{json_escape, json_f64, print_table, write_csv, write_json};
+use crate::output::{json_escape, json_f64, peak_rss_bytes, print_table, write_csv, write_json};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
-use ulba_core::gossip::GossipMode;
+use ulba_core::gossip::{GossipMode, GossipWire};
 use ulba_core::policy::LbPolicy;
 use ulba_erosion::{run_erosion, ErosionConfig};
 use ulba_runtime::Backend;
@@ -42,6 +44,8 @@ pub struct WeakScalingRow {
     /// Resolved leaf shard count of the rendezvous hub the run used
     /// (`--hub-shards` / `ULBA_HUB_SHARDS`; default `min(workers, 64)`).
     pub hub_shards: usize,
+    /// Gossip wire-format label (`full` / `delta:<N>`).
+    pub gossip_wire: String,
     /// Virtual makespan in seconds.
     pub makespan: f64,
     /// Number of LB steps performed.
@@ -54,15 +58,23 @@ pub struct WeakScalingRow {
     pub idle_fraction: f64,
     /// Real wall-clock seconds spent simulating the run.
     pub sim_secs: f64,
+    /// Aggregate WIR-database entries resident at run end, summed over
+    /// ranks (the sparse database's footprint; dense held `P²`).
+    pub db_entries_total: u64,
+    /// Process peak RSS in bytes after this row (Linux `VmHWM`; `None`
+    /// where the platform lacks the probe). Monotone across rows of one
+    /// invocation.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Weak-scaling configuration: a fixed per-PE domain small enough that
 /// `P = 4096` stays tractable, with the overloaded-PE *fraction* held
 /// roughly constant across `P` (one strongly erodible rock per 64 PEs) so
 /// the ULBA regime is comparable along the sweep.
-fn config_for(ranks: usize, policy: LbPolicy, smoke: bool) -> ErosionConfig {
+fn config_for(ranks: usize, policy: LbPolicy, wire: GossipWire, smoke: bool) -> ErosionConfig {
     let mut cfg = ErosionConfig::tiny(ranks, (ranks / 64).max(1).min(ranks));
     cfg.policy = policy;
+    cfg.gossip_wire = wire;
     if smoke {
         // CI-sized: a few minutes even at P = 4096 on the sequential
         // backend. Ring gossip keeps snapshot sizes O(iterations) instead
@@ -78,12 +90,18 @@ fn config_for(ranks: usize, policy: LbPolicy, smoke: bool) -> ErosionConfig {
     cfg
 }
 
-/// Run the weak-scaling sweep on `backend` (`None` = runtime default).
-pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<WeakScalingRow> {
+/// Run the weak-scaling sweep on `backend` (`None` = runtime default) with
+/// the given gossip wire format.
+pub fn run(
+    pe_counts: &[usize],
+    backend: Option<Backend>,
+    wire: GossipWire,
+    smoke: bool,
+) -> Vec<WeakScalingRow> {
     let backend_label = backend.map_or_else(|| "default".to_string(), |b| b.to_string());
     println!(
         "Weak scaling — erosion app, fixed per-PE domain, standard vs ULBA \
-         (α = 0.4), backend: {backend_label}{}",
+         (α = 0.4), backend: {backend_label}, gossip wire: {wire}{}",
         if smoke { ", smoke" } else { "" }
     );
     let mut rows = Vec::new();
@@ -91,7 +109,7 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
         for (label, policy) in
             [("standard", LbPolicy::Standard), ("ulba", LbPolicy::ulba_fixed(0.4))]
         {
-            let mut cfg = config_for(ranks, policy, smoke);
+            let mut cfg = config_for(ranks, policy, wire, smoke);
             cfg.backend = backend;
             let started = Instant::now();
             let res = run_erosion(&cfg);
@@ -109,26 +127,35 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
             } else {
                 0.0
             };
+            let peak_rss = peak_rss_bytes();
             eprintln!(
                 "  [P={ranks} {label} {backend_label} S={}] makespan {:.2}s, {} LB calls, \
-                 util {:.1}%, λ {:.3}, simulated in {sim_secs:.2}s",
+                 util {:.1}%, λ {:.3}, {} db entries, peak RSS {}, simulated in {sim_secs:.2}s",
                 res.hub_shards,
                 res.makespan,
                 res.lb_calls,
                 res.mean_utilization * 100.0,
                 busy_max_over_mean,
+                res.db_entries_total,
+                peak_rss.map_or_else(
+                    || "n/a".into(),
+                    |b| format!("{:.0} MiB", b as f64 / (1 << 20) as f64)
+                ),
             );
             rows.push(WeakScalingRow {
                 ranks,
                 policy: label,
                 backend: backend_label.clone(),
                 hub_shards: res.hub_shards,
+                gossip_wire: wire.to_string(),
                 makespan: res.makespan,
                 lb_calls: res.lb_calls,
                 mean_utilization: res.mean_utilization,
                 busy_max_over_mean,
                 idle_fraction,
                 sim_secs,
+                db_entries_total: res.db_entries_total,
+                peak_rss_bytes: peak_rss,
             });
         }
     }
@@ -144,12 +171,13 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
                 r.lb_calls.to_string(),
                 format!("{:.1}%", r.mean_utilization * 100.0),
                 format!("{:.3}", r.busy_max_over_mean),
+                r.db_entries_total.to_string(),
                 format!("{:.2}", r.sim_secs),
             ]
         })
         .collect();
     print_table(
-        &format!("Weak scaling — backend {backend_label}"),
+        &format!("Weak scaling — backend {backend_label}, wire {wire}"),
         &[
             "PEs",
             "policy",
@@ -158,6 +186,7 @@ pub fn run(pe_counts: &[usize], backend: Option<Backend>, smoke: bool) -> Vec<We
             "LB calls",
             "utilization",
             "λ",
+            "db entries",
             "sim wall [s]",
         ],
         &table,
@@ -173,12 +202,15 @@ const CSV_HEADER: &[&str] = &[
     "policy",
     "backend",
     "hub_shards",
+    "gossip_wire",
     "makespan_s",
     "lb_calls",
     "mean_utilization",
     "busy_max_over_mean",
     "idle_fraction",
     "sim_wall_s",
+    "db_entries_total",
+    "peak_rss_bytes",
 ];
 
 fn csv_row(r: &WeakScalingRow) -> Vec<String> {
@@ -187,42 +219,53 @@ fn csv_row(r: &WeakScalingRow) -> Vec<String> {
         r.policy.to_string(),
         r.backend.clone(),
         r.hub_shards.to_string(),
+        r.gossip_wire.clone(),
         format!("{}", r.makespan),
         r.lb_calls.to_string(),
         format!("{}", r.mean_utilization),
         format!("{}", r.busy_max_over_mean),
         format!("{}", r.idle_fraction),
         format!("{}", r.sim_secs),
+        r.db_entries_total.to_string(),
+        r.peak_rss_bytes.map_or_else(String::new, |b| b.to_string()),
     ]
 }
 
 /// Serialize the collected rows as the machine-readable perf-trajectory
-/// report (`BENCH_weak_scaling.json` in CI): per (backend, P, policy) the
-/// real wall-clock simulation cost, the virtual makespan, and the
-/// imbalance statistics. Returns the written path.
+/// report (`BENCH_weak_scaling.json` / `BENCH_p65536.json` in CI): per
+/// (backend, P, policy) the real wall-clock simulation cost, the virtual
+/// makespan, the imbalance statistics, and the memory story (aggregate
+/// database entries + peak RSS). Returns the written path.
+///
+/// Schema 3 = schema 2 plus `gossip_wire`, `db_entries_total` and
+/// `peak_rss_bytes` (nullable).
 pub fn write_json_report(rows: &[WeakScalingRow], smoke: bool, path: &Path) -> PathBuf {
     let mut doc = String::from("{\n");
-    doc.push_str("  \"schema\": 2,\n");
+    doc.push_str("  \"schema\": 3,\n");
     doc.push_str("  \"study\": \"weak_scaling\",\n");
     doc.push_str(&format!("  \"smoke\": {smoke},\n"));
     doc.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         doc.push_str(&format!(
             "    {{\"backend\": \"{}\", \"pes\": {}, \"policy\": \"{}\", \
-             \"hub_shards\": {}, \
+             \"hub_shards\": {}, \"gossip_wire\": \"{}\", \
              \"sim_wall_s\": {}, \"makespan_virtual_s\": {}, \"lb_calls\": {}, \
              \"mean_utilization\": {}, \"busy_max_over_mean\": {}, \
-             \"idle_fraction\": {}}}{}\n",
+             \"idle_fraction\": {}, \"db_entries_total\": {}, \
+             \"peak_rss_bytes\": {}}}{}\n",
             json_escape(&r.backend),
             r.ranks,
             json_escape(r.policy),
             r.hub_shards,
+            json_escape(&r.gossip_wire),
             json_f64(r.sim_secs),
             json_f64(r.makespan),
             r.lb_calls,
             json_f64(r.mean_utilization),
             json_f64(r.busy_max_over_mean),
             json_f64(r.idle_fraction),
+            r.db_entries_total,
+            r.peak_rss_bytes.map_or_else(|| "null".to_string(), |b| b.to_string()),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }

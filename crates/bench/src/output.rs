@@ -124,6 +124,29 @@ pub fn cli_json_path() -> Option<PathBuf> {
     cli_value("--json").map(PathBuf::from)
 }
 
+/// Gossip wire format selected on the command line (`--gossip-wire full`,
+/// `--gossip-wire delta` or `--gossip-wire delta:<N>` with anti-entropy
+/// period `N`), if any.
+pub fn cli_gossip_wire() -> Option<ulba_core::gossip::GossipWire> {
+    cli_value("--gossip-wire").map(|raw| {
+        raw.parse().unwrap_or_else(|err| {
+            eprintln!("{err}");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), if the platform exposes it. Monotone over the
+/// process lifetime — in a multi-run invocation each reading covers
+/// everything run so far, which is the honest budget-gate semantics.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Apply `--backend` (and `--workers` / `--hub-shards`) to the whole
 /// process by exporting `ULBA_BACKEND`/`ULBA_WORKERS`/`ULBA_HUB_SHARDS`,
 /// so every `RunConfig::new` in the figure pipeline picks them up without
@@ -228,6 +251,15 @@ mod tests {
         std::env::set_var("ULBA_TEST_KNOB", "42");
         assert_eq!(env_usize("ULBA_TEST_KNOB", 7), 42);
         assert_eq!(env_usize("ULBA_TEST_KNOB_MISSING", 7), 7);
+    }
+
+    #[test]
+    fn peak_rss_probe_is_sane() {
+        // Linux exposes VmHWM; elsewhere the probe degrades to None. Either
+        // way it must not panic, and a reading must be positive.
+        if let Some(bytes) = peak_rss_bytes() {
+            assert!(bytes > 0);
+        }
     }
 
     #[test]

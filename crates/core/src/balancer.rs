@@ -68,8 +68,11 @@ pub async fn centralized_rebalance(
     let bytes = std::mem::size_of::<usize>() + my_weights.len() * 8;
     let chunks = ctx.gather(LB_ROOT, chunk, bytes).await;
 
-    // (3) Root: shares → weighted partition; broadcast.
-    let payload: Option<(Vec<usize>, ShareDecision)> = chunks.map(|chunks| {
+    // (3) Root: shares → weighted partition; broadcast. The partition and
+    // decision both share their `O(P)` arrays (`Arc`-backed), so the
+    // per-rank broadcast clones are reference bumps — one resident copy of
+    // the bounds and shares for the whole machine, not `P` of them.
+    let payload: Option<(Partition, ShareDecision)> = chunks.map(|chunks| {
         let alphas = alphas.expect("root received the alphas");
         // Validate the contiguity invariant and assemble the global weights.
         let mut expected_start = 0usize;
@@ -86,13 +89,11 @@ pub async fn centralized_rebalance(
         // PartitionAccordingToWeights: charge the prefix walk on the root.
         ctx.compute(PARTITION_FLOP_PER_ITEM * weights.len() as f64);
         let partition = partition_by_shares(&weights, &decision.shares);
-        (partition.bounds().to_vec(), decision)
+        (partition, decision)
     });
     let bcast_bytes =
         (ctx.size() + 1) * std::mem::size_of::<usize>() + ctx.size() * std::mem::size_of::<f64>();
-    let (bounds, decision) = ctx.broadcast(LB_ROOT, payload, bcast_bytes).await;
-    let total_items: usize = *bounds.last().expect("non-empty bounds");
-    let partition = Partition::from_bounds(bounds, total_items);
+    let (partition, decision) = ctx.broadcast(LB_ROOT, payload, bcast_bytes).await;
 
     ctx.end_lb();
     RebalanceOutcome { partition, decision, started_at }

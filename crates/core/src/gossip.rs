@@ -8,11 +8,22 @@
 //! so runs are deterministic and every rank can compute anybody's peers.
 //! The module also contains a round-based, runtime-free simulation used for
 //! convergence tests and the gossip ablation study.
+//!
+//! Two wire formats exist ([`GossipWire`]): the paper's full-snapshot
+//! messages, and delta messages ([`GossipOutbox`]) that carry only entries
+//! fresher than the per-peer watermark — the receiver's merged state is
+//! provably identical either way (omitted entries were already delivered,
+//! and merges are idempotent and monotone), so rounds-to-completion and
+//! final databases match exactly while the bytes on the wire drop from
+//! `O(known)` to `O(changed since last contact)` per message.
 
 use crate::db::{WirDatabase, WirEntry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::str::FromStr;
 
 /// How peers are chosen at each dissemination step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,34 +100,172 @@ fn random_peers(
         ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03);
     let mut rng = StdRng::seed_from_u64(stream);
     let mut peers: Vec<usize> = include.into_iter().collect();
-    let want = peers.len() + fanout.min(size - 1);
-    let mut guard = 0;
-    while peers.len() < want && guard < 64 * size {
-        guard += 1;
+    // At most size − 1 distinct peers exist (everyone but `rank`); an
+    // `include` peer counts against the same pool, so the cap applies to
+    // the whole list, not just the random part.
+    let want = (peers.len() + fanout).min(size - 1);
+    let mut seen: HashSet<usize> = peers.iter().copied().collect();
+    seen.insert(rank);
+    let mut draws = 0;
+    while peers.len() < want && draws < 64 * size {
+        draws += 1;
         let p = rng.random_range(0..size);
-        if p != rank && !peers.contains(&p) {
+        // `insert` is the membership test: false for `rank`, duplicates and
+        // anything in `include` — identical accept/reject (and therefore
+        // identical RNG consumption and output) to the old O(fanout²)
+        // `peers.contains` scan.
+        if seen.insert(p) {
             peers.push(p);
         }
     }
+    debug_assert_eq!(
+        peers.len(),
+        want,
+        "random_peers under-filled after {draws} draws \
+         (rank {rank}, size {size}, fanout {fanout}, round {round})"
+    );
     peers
 }
 
-/// A gossip message: the sender's database snapshot.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct GossipMessage {
-    /// Entries known to the sender at send time.
-    pub entries: Vec<WirEntry>,
+/// Wire format of the gossip payloads (what a dissemination step sends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum GossipWire {
+    /// Every message carries the sender's full database snapshot — the
+    /// paper's scheme (and the default), `O(known entries)` bytes per
+    /// message.
+    #[default]
+    Full,
+    /// Messages carry only the entries that changed since the sender last
+    /// wrote to that peer (per-peer change-clock watermark, see
+    /// [`GossipOutbox`]), with a periodic full-snapshot anti-entropy round
+    /// as the safety net.
+    Delta {
+        /// Anti-entropy period: at rounds divisible by `full_every`, full
+        /// snapshots are sent regardless of watermarks, so a peer that
+        /// somehow missed a delta is repaired within one period and Ring
+        /// mode's worst-case guarantee survives any single loss. Must be
+        /// ≥ 1; `1` degenerates to [`GossipWire::Full`].
+        full_every: u64,
+    },
+}
+
+impl GossipWire {
+    /// Default anti-entropy period of [`GossipWire::delta`].
+    pub const DEFAULT_FULL_EVERY: u64 = 32;
+
+    /// Delta wire with the default anti-entropy period.
+    pub fn delta() -> Self {
+        GossipWire::Delta { full_every: Self::DEFAULT_FULL_EVERY }
+    }
+}
+
+impl fmt::Display for GossipWire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GossipWire::Full => write!(f, "full"),
+            GossipWire::Delta { full_every } => write!(f, "delta:{full_every}"),
+        }
+    }
+}
+
+impl FromStr for GossipWire {
+    type Err = String;
+
+    /// Parse `full`, `delta` (default anti-entropy period) or `delta:<N>`.
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "full" => Ok(GossipWire::Full),
+            "delta" => Ok(GossipWire::delta()),
+            other => match other.strip_prefix("delta:").map(str::parse::<u64>) {
+                Some(Ok(full_every)) if full_every >= 1 => Ok(GossipWire::Delta { full_every }),
+                _ => Err(format!(
+                    "unknown gossip wire `{raw}` (expected `full`, `delta` or `delta:<N≥1>`)"
+                )),
+            },
+        }
+    }
+}
+
+/// Per-sender delta-gossip state: one change-clock watermark per peer,
+/// recording the sender's [`WirDatabase::version`] as of the last message
+/// to that peer. The next message to the same peer carries exactly the
+/// entries that changed after the watermark — everything older was already
+/// sent (and merges are idempotent and monotone, so resending would be a
+/// no-op anyway).
+///
+/// Memory is proportional to the number of *distinct peers actually
+/// contacted* (`O(1)` for Ring, `O(min(P, fanout · rounds))` for epidemic
+/// modes), never a dense `O(P)` table.
+#[derive(Debug, Clone, Default)]
+pub struct GossipOutbox {
+    watermarks: HashMap<usize, u64>,
+}
+
+impl GossipOutbox {
+    /// A fresh outbox: every peer is assumed to know nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the payload for one dissemination message to `peer` at
+    /// `round`, honoring the wire format, and advance the peer's watermark.
+    ///
+    /// Under [`GossipWire::Full`] this is the full snapshot (watermarks are
+    /// not consulted — both formats can be mixed freely). Under
+    /// [`GossipWire::Delta`] it is the entries changed since the last send
+    /// to `peer`, or the full snapshot on anti-entropy rounds
+    /// (`round % full_every == 0` — including round 0, where the watermark
+    /// is empty and the delta is the full snapshot regardless).
+    pub fn message(
+        &mut self,
+        db: &WirDatabase,
+        peer: usize,
+        round: u64,
+        wire: GossipWire,
+    ) -> Vec<WirEntry> {
+        match wire {
+            GossipWire::Full => db.snapshot(),
+            GossipWire::Delta { full_every } => {
+                debug_assert!(full_every >= 1, "anti-entropy period must be ≥ 1");
+                let anti_entropy = round.is_multiple_of(full_every.max(1));
+                let since =
+                    if anti_entropy { 0 } else { self.watermarks.get(&peer).copied().unwrap_or(0) };
+                let payload = db.delta_since(since);
+                self.watermarks.insert(peer, db.version());
+                payload
+            }
+        }
+    }
+
+    /// Number of peers with a recorded watermark (the outbox's footprint).
+    pub fn tracked_peers(&self) -> usize {
+        self.watermarks.len()
+    }
+}
+
+/// Outcome of [`simulate_gossip`]: rounds until every database was
+/// complete (`None` if the cap was hit first) and the final databases —
+/// used by the delta-vs-full equivalence suite, which asserts both fields
+/// identical across wire formats.
+#[derive(Debug, Clone)]
+pub struct GossipSim {
+    /// Rounds until every rank's database was complete, capped.
+    pub rounds: Option<usize>,
+    /// Every rank's database after the last simulated round.
+    pub databases: Vec<WirDatabase>,
 }
 
 /// Round-based gossip simulation (no runtime needed): every rank starts
-/// knowing only its own entry; returns the number of rounds until all
-/// databases are complete (capped at `max_rounds`).
-pub fn simulate_rounds_to_completion(
+/// knowing only its own entry; rounds are synchronous (all payloads are
+/// built from start-of-round state, then delivered). Runs until all
+/// databases are complete or `max_rounds` is hit.
+pub fn simulate_gossip(
     mode: GossipMode,
+    wire: GossipWire,
     size: usize,
     seed: u64,
     max_rounds: usize,
-) -> Option<usize> {
+) -> GossipSim {
     let mut dbs: Vec<WirDatabase> = (0..size)
         .map(|r| {
             let mut db = WirDatabase::new(size);
@@ -124,22 +273,54 @@ pub fn simulate_rounds_to_completion(
             db
         })
         .collect();
+    let mut outboxes: Vec<GossipOutbox> = vec![GossipOutbox::new(); size];
     if dbs.iter().all(|d| d.is_complete()) {
-        return Some(0);
+        return GossipSim { rounds: Some(0), databases: dbs };
     }
     for round in 0..max_rounds {
-        // Synchronous rounds: all sends use the start-of-round snapshots.
-        let snapshots: Vec<Vec<WirEntry>> = dbs.iter().map(|d| d.snapshot()).collect();
-        for (rank, snapshot) in snapshots.iter().enumerate() {
-            for peer in select_peers(mode, rank, size, round as u64, seed) {
-                dbs[peer].merge(snapshot);
+        // Synchronous rounds: build every payload from the start-of-round
+        // databases, then deliver.
+        match wire {
+            GossipWire::Full => {
+                // One snapshot per rank, merged by reference — senders are
+                // immutable within the round, so per-(rank, peer) snapshot
+                // clones would only burn O(P · known) extra allocations.
+                let snapshots: Vec<Vec<WirEntry>> = dbs.iter().map(|d| d.snapshot()).collect();
+                for (rank, snapshot) in snapshots.iter().enumerate() {
+                    for peer in select_peers(mode, rank, size, round as u64, seed) {
+                        dbs[peer].merge(snapshot);
+                    }
+                }
+            }
+            GossipWire::Delta { .. } => {
+                let mut deliveries: Vec<(usize, Vec<WirEntry>)> = Vec::new();
+                for (rank, outbox) in outboxes.iter_mut().enumerate() {
+                    for peer in select_peers(mode, rank, size, round as u64, seed) {
+                        deliveries
+                            .push((peer, outbox.message(&dbs[rank], peer, round as u64, wire)));
+                    }
+                }
+                for (peer, payload) in deliveries {
+                    dbs[peer].merge(&payload);
+                }
             }
         }
         if dbs.iter().all(|d| d.is_complete()) {
-            return Some(round + 1);
+            return GossipSim { rounds: Some(round + 1), databases: dbs };
         }
     }
-    None
+    GossipSim { rounds: None, databases: dbs }
+}
+
+/// [`simulate_gossip`] under the classic full-snapshot wire, reporting only
+/// the number of rounds until all databases are complete.
+pub fn simulate_rounds_to_completion(
+    mode: GossipMode,
+    size: usize,
+    seed: u64,
+    max_rounds: usize,
+) -> Option<usize> {
+    simulate_gossip(mode, GossipWire::Full, size, seed, max_rounds).rounds
 }
 
 #[cfg(test)]
@@ -229,5 +410,87 @@ mod tests {
     #[test]
     fn single_rank_converges_in_zero_rounds() {
         assert_eq!(simulate_rounds_to_completion(GossipMode::Ring, 1, 0, 1), Some(0));
+    }
+
+    #[test]
+    fn gossip_wire_parses_and_displays() {
+        assert_eq!("full".parse::<GossipWire>(), Ok(GossipWire::Full));
+        assert_eq!("delta".parse::<GossipWire>(), Ok(GossipWire::delta()));
+        assert_eq!("delta:7".parse::<GossipWire>(), Ok(GossipWire::Delta { full_every: 7 }));
+        assert!("delta:0".parse::<GossipWire>().is_err());
+        assert!("bogus".parse::<GossipWire>().is_err());
+        assert_eq!(GossipWire::Delta { full_every: 7 }.to_string(), "delta:7");
+        assert_eq!(GossipWire::Full.to_string(), "full");
+        assert_eq!(GossipWire::default(), GossipWire::Full);
+    }
+
+    #[test]
+    fn outbox_full_wire_is_the_snapshot() {
+        let mut db = WirDatabase::new(4);
+        db.update(WirEntry { rank: 1, wir: 1.0, iteration: 3 });
+        let mut outbox = GossipOutbox::new();
+        let payload = outbox.message(&db, 2, 5, GossipWire::Full);
+        assert_eq!(payload, db.snapshot());
+        assert_eq!(outbox.tracked_peers(), 0, "full wire needs no watermarks");
+    }
+
+    #[test]
+    fn outbox_delta_sends_only_the_news_per_peer() {
+        let wire = GossipWire::Delta { full_every: 100 };
+        let mut db = WirDatabase::new(8);
+        db.update(WirEntry { rank: 0, wir: 1.0, iteration: 1 });
+        let mut outbox = GossipOutbox::new();
+        // First contact (round 1, not anti-entropy): watermark empty → full.
+        let first = outbox.message(&db, 3, 1, wire);
+        assert_eq!(first.len(), 1);
+        // Nothing changed: the next message to the same peer is empty.
+        assert!(outbox.message(&db, 3, 2, wire).is_empty());
+        // News arrives; only it is sent — and a *new* peer gets everything.
+        db.update(WirEntry { rank: 5, wir: 2.0, iteration: 2 });
+        let next = outbox.message(&db, 3, 3, wire);
+        assert_eq!(next.iter().map(|e| e.rank).collect::<Vec<_>>(), vec![5]);
+        assert_eq!(outbox.message(&db, 6, 3, wire).len(), 2);
+        assert_eq!(outbox.tracked_peers(), 2);
+    }
+
+    #[test]
+    fn outbox_anti_entropy_rounds_send_full_snapshots() {
+        let wire = GossipWire::Delta { full_every: 4 };
+        let mut db = WirDatabase::new(8);
+        db.update(WirEntry { rank: 0, wir: 1.0, iteration: 1 });
+        db.update(WirEntry { rank: 2, wir: 2.0, iteration: 1 });
+        let mut outbox = GossipOutbox::new();
+        assert_eq!(outbox.message(&db, 1, 1, wire).len(), 2);
+        assert!(outbox.message(&db, 1, 2, wire).is_empty());
+        // Round 4 is divisible by the period: full snapshot despite the
+        // up-to-date watermark.
+        assert_eq!(outbox.message(&db, 1, 4, wire).len(), 2);
+    }
+
+    #[test]
+    fn delta_simulation_matches_full_simulation() {
+        for mode in [
+            GossipMode::Ring,
+            GossipMode::RandomPush { fanout: 2 },
+            GossipMode::Hybrid { fanout: 1 },
+        ] {
+            let size = 24;
+            let bound = mode.expected_rounds(size).max(size);
+            let full = simulate_gossip(mode, GossipWire::Full, size, 11, bound);
+            let delta = simulate_gossip(mode, GossipWire::delta(), size, 11, bound);
+            assert_eq!(full.rounds, delta.rounds, "{mode:?}");
+            assert_eq!(full.databases, delta.databases, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_tiny_size_underfill_is_benign() {
+        // P = 2, Hybrid{1}: the ring successor is the only possible peer, so
+        // the random part cannot add anyone — the want-cap must account for
+        // that instead of spinning and silently under-filling.
+        let peers = select_peers(GossipMode::Hybrid { fanout: 1 }, 0, 2, 0, 0);
+        assert_eq!(peers, vec![1]);
+        let peers = select_peers(GossipMode::Hybrid { fanout: 2 }, 1, 3, 4, 9);
+        assert_eq!(peers.len(), 2, "both non-self ranks, nothing more");
     }
 }

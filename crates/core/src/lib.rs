@@ -10,9 +10,11 @@
 //! The crate provides every runtime mechanism of §III-C:
 //!
 //! * [`wir`] — per-PE WIR estimation (sliding-window least squares);
-//! * [`db`] — the per-PE WIR database with freshness-based merging;
+//! * [`db`] — the per-PE WIR database with freshness-based merging
+//!   (sparse and change-versioned: memory follows what gossip touched,
+//!   not `O(P)` per rank);
 //! * [`gossip`] — the dissemination step run at every iteration (ring,
-//!   epidemic push, hybrid);
+//!   epidemic push, hybrid) over full-snapshot or delta payloads;
 //! * [`outlier`] — z-score overloading detection (threshold 3.0) plus a
 //!   robust median/MAD variant;
 //! * [`trigger`] — adaptive LB activation: the Zhai-style cumulative
@@ -63,8 +65,8 @@ pub mod trigger;
 pub mod wir;
 
 pub use balancer::{centralized_rebalance, RebalanceOutcome, LB_ROOT};
-pub use db::{WirDatabase, WirEntry};
-pub use gossip::{select_peers, GossipMode};
+pub use db::{wire_bytes, WirDatabase, WirEntry};
+pub use gossip::{select_peers, GossipMode, GossipOutbox, GossipWire};
 pub use model_loop::trigger_driven_schedule;
 pub use outlier::{detect_overloading, z_scores, DetectionStat, DEFAULT_Z_THRESHOLD};
 pub use partition::{partition_by_shares, partition_evenly, Partition};
@@ -78,8 +80,8 @@ pub use wir::WirEstimator;
 /// Convenient glob import of the most used items.
 pub mod prelude {
     pub use crate::balancer::{centralized_rebalance, RebalanceOutcome, LB_ROOT};
-    pub use crate::db::{WirDatabase, WirEntry};
-    pub use crate::gossip::{select_peers, GossipMode};
+    pub use crate::db::{wire_bytes, WirDatabase, WirEntry};
+    pub use crate::gossip::{select_peers, GossipMode, GossipOutbox, GossipWire};
     pub use crate::outlier::{detect_overloading, z_scores, DetectionStat, DEFAULT_Z_THRESHOLD};
     pub use crate::partition::{partition_by_shares, partition_evenly, Partition};
     pub use crate::policy::{AlphaRule, LbPolicy, UlbaConfig};

@@ -15,19 +15,51 @@ pub const DEFAULT_Z_THRESHOLD: f64 = 3.0;
 
 /// Arithmetic mean (0 for an empty slice).
 pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.iter().sum::<f64>() / values.len() as f64
+    mean_iter(values.iter().copied(), values.len())
 }
 
 /// Population standard deviation (0 for fewer than two values).
 pub fn std_dev(values: &[f64]) -> f64 {
-    if values.len() < 2 {
+    std_dev_iter(values.iter().copied(), values.len())
+}
+
+/// Streaming [`mean`] over a population of `n` values — the identical
+/// left-to-right summation, so the result is bit-identical to the slice
+/// version without materializing the slice.
+pub fn mean_iter<I: Iterator<Item = f64>>(values: I, n: usize) -> f64 {
+    if n == 0 {
         return 0.0;
     }
-    let m = mean(values);
-    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+    values.sum::<f64>() / n as f64
+}
+
+/// Streaming [`std_dev`] over a population of `n` values; the iterator is
+/// replayed (`Clone`) for the two passes, preserving the dense version's
+/// exact evaluation order.
+pub fn std_dev_iter<I: Iterator<Item = f64> + Clone>(values: I, n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean_iter(values.clone(), n);
+    (values.map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64).sqrt()
+}
+
+/// The `(mean, population σ)` pair parameterizing [`z_scores`], computed
+/// streaming. With these, `z_from(x, mean, sd)` reproduces `z_scores`'s
+/// entry for any `x` of the population bit-for-bit — the allocation-free
+/// path for sparse-database consumers scoring `O(P)` populations.
+pub fn z_params<I: Iterator<Item = f64> + Clone>(values: I, n: usize) -> (f64, f64) {
+    (mean_iter(values.clone(), n), std_dev_iter(values, n))
+}
+
+/// z-score of `value` given precomputed [`z_params`] (0 when the
+/// population has zero spread: nobody is an outlier).
+pub fn z_from(value: f64, mean: f64, sd: f64) -> f64 {
+    if sd == 0.0 {
+        0.0
+    } else {
+        (value - mean) / sd
+    }
 }
 
 /// Median of a slice (0 for an empty slice). `O(n log n)`.
@@ -59,9 +91,8 @@ pub fn z_score(value: f64, values: &[f64]) -> f64 {
 
 /// z-scores of every element of `values` within `values`.
 pub fn z_scores(values: &[f64]) -> Vec<f64> {
-    let m = mean(values);
-    let sd = std_dev(values);
-    values.iter().map(|v| if sd == 0.0 { 0.0 } else { (v - m) / sd }).collect()
+    let (m, sd) = z_params(values.iter().copied(), values.len());
+    values.iter().map(|&v| z_from(v, m, sd)).collect()
 }
 
 /// Robust z-scores: `0.6745·(x − median)/MAD` (the 0.6745 factor makes the
@@ -168,6 +199,18 @@ mod tests {
         wirs[0] = -100.0;
         let flags = detect_overloading(&wirs, DEFAULT_Z_THRESHOLD, DetectionStat::ZScore);
         assert!(!flags[0]);
+    }
+
+    #[test]
+    fn streaming_statistics_are_bit_identical_to_dense() {
+        let v = [3.25, -1.5, 0.0, 7.0, 7.0, -2.75, 1e9, 0.125];
+        let it = || v.iter().copied();
+        assert_eq!(mean_iter(it(), v.len()).to_bits(), mean(&v).to_bits());
+        assert_eq!(std_dev_iter(it(), v.len()).to_bits(), std_dev(&v).to_bits());
+        let (m, sd) = z_params(it(), v.len());
+        for (x, z) in v.iter().zip(z_scores(&v)) {
+            assert_eq!(z_from(*x, m, sd).to_bits(), z.to_bits());
+        }
     }
 
     #[test]

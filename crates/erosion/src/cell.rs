@@ -9,15 +9,16 @@
 //!
 //! Cells are packed into a `u16` (2 bytes/cell keeps a 256-PE scaled domain
 //! in tens of megabytes): `0` = plain fluid (weight 1), `1` = refined fluid
-//! (weight 4), `2 + k` = rock belonging to disc `k`.
+//! (weight 4), `2` = rock. A rock cell does *not* store its disc id — discs
+//! fit strictly inside their home stripe, so the id is always derivable as
+//! `global_col / cols_per_stripe` ([`crate::geometry::Geometry::rock_at`]),
+//! and not storing it is what lets one u16 cell type serve any `P`
+//! (per-cell ids capped the domain at 2¹⁶ − 2 discs, blocking `P = 65536`).
 
 use serde::{Deserialize, Serialize};
 
 /// Compute/partition weight of a refined (post-erosion) fluid cell.
 pub const REFINED_WEIGHT: u32 = 4;
-
-/// Largest representable rock id.
-pub const MAX_ROCK_ID: u16 = u16::MAX - 2;
 
 /// One mesh cell, packed into two bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,12 +29,8 @@ impl Cell {
     pub const FLUID: Cell = Cell(0);
     /// A refined fluid cell (weight 4), produced by eroding a rock cell.
     pub const REFINED: Cell = Cell(1);
-
-    /// A rock cell belonging to disc `rock_id`.
-    pub fn rock(rock_id: u16) -> Cell {
-        assert!(rock_id <= MAX_ROCK_ID, "rock id {rock_id} out of range");
-        Cell(rock_id + 2)
-    }
+    /// A rock cell (disc membership is positional: `col / cols_per_stripe`).
+    pub const ROCK: Cell = Cell(2);
 
     /// Is this a fluid cell (plain or refined)?
     pub fn is_fluid(self) -> bool {
@@ -43,11 +40,6 @@ impl Cell {
     /// Is this a rock cell?
     pub fn is_rock(self) -> bool {
         self.0 >= 2
-    }
-
-    /// The rock disc this cell belongs to, if it is rock.
-    pub fn rock_id(self) -> Option<u16> {
-        self.is_rock().then(|| self.0 - 2)
     }
 
     /// Compute/partition weight: 1 for plain fluid, 4 for refined fluid,
@@ -79,22 +71,20 @@ mod tests {
         assert!(Cell::FLUID.is_fluid());
         assert!(!Cell::FLUID.is_rock());
         assert!(Cell::REFINED.is_fluid());
-        let r = Cell::rock(37);
-        assert!(r.is_rock());
-        assert_eq!(r.rock_id(), Some(37));
-        assert_eq!(Cell::FLUID.rock_id(), None);
+        assert!(Cell::ROCK.is_rock());
+        assert!(!Cell::ROCK.is_fluid());
     }
 
     #[test]
     fn weights() {
         assert_eq!(Cell::FLUID.weight(), 1);
         assert_eq!(Cell::REFINED.weight(), 4);
-        assert_eq!(Cell::rock(0).weight(), 0);
+        assert_eq!(Cell::ROCK.weight(), 0);
     }
 
     #[test]
     fn erosion_refines() {
-        let c = Cell::rock(5).eroded();
+        let c = Cell::ROCK.eroded();
         assert_eq!(c, Cell::REFINED);
         assert_eq!(c.weight(), REFINED_WEIGHT);
     }
@@ -108,17 +98,5 @@ mod tests {
     #[test]
     fn cell_is_two_bytes() {
         assert_eq!(std::mem::size_of::<Cell>(), Cell::BYTES);
-    }
-
-    #[test]
-    fn max_rock_id_boundary() {
-        let c = Cell::rock(MAX_ROCK_ID);
-        assert_eq!(c.rock_id(), Some(MAX_ROCK_ID));
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn rock_id_overflow_rejected() {
-        Cell::rock(MAX_ROCK_ID + 1);
     }
 }

@@ -231,7 +231,7 @@ mod tests {
 
     #[test]
     fn from_cells_reconstructs_caches() {
-        let cells = vec![Cell::FLUID, Cell::rock(0), Cell::REFINED, Cell::rock(0)];
+        let cells = vec![Cell::FLUID, Cell::ROCK, Cell::REFINED, Cell::ROCK];
         let c = Column::from_cells(cells, |row| row == 1);
         assert_eq!(c.fluid_weight(), 1 + 4);
         assert_eq!(c.exposed(), &[1]);

@@ -1,7 +1,7 @@
 //! Experiment configuration for the erosion proxy application.
 
 use serde::{Deserialize, Serialize};
-use ulba_core::gossip::GossipMode;
+use ulba_core::gossip::{GossipMode, GossipWire};
 use ulba_core::policy::LbPolicy;
 use ulba_runtime::Backend;
 
@@ -53,6 +53,11 @@ pub struct ErosionConfig {
     pub trigger: TriggerKind,
     /// WIR dissemination mode (one step per iteration, §III-C).
     pub gossip: GossipMode,
+    /// Gossip wire format: full database snapshots (the paper's scheme) or
+    /// per-peer deltas with a periodic full-snapshot anti-entropy round.
+    /// The merged databases — and with them every LB decision — are
+    /// identical either way; only the bytes charged on the wire differ.
+    pub gossip_wire: GossipWire,
     /// Sliding window of the per-PE WIR estimator.
     pub wir_window: usize,
     /// Partition on *predicted* column weights (current weight extrapolated
@@ -129,6 +134,7 @@ impl ErosionConfig {
             policy: LbPolicy::ulba_fixed(0.4),
             trigger: TriggerKind::Zhai,
             gossip: GossipMode::RandomPush { fanout: 2 },
+            gossip_wire: GossipWire::Full,
             wir_window: 8,
             anticipatory_partitioning: false,
             initial_lb_cost_factor: 1.0,
@@ -182,6 +188,13 @@ impl ErosionConfig {
         if self.ranks == 0 {
             return Err("need at least one rank".into());
         }
+        if self.height > 1 << 16 {
+            return Err(format!(
+                "height {} exceeds the u16 row-index space of the erosion frontier \
+                 (rows 0..height−1 must fit u16, so height ≤ 65536)",
+                self.height
+            ));
+        }
         if self.strong_rocks > self.ranks {
             return Err(format!(
                 "{} strong rocks but only {} discs exist",
@@ -219,6 +232,9 @@ impl ErosionConfig {
         }
         if self.hub_shards == Some(0) {
             return Err("hub_shards must be positive when set (None = runtime default)".into());
+        }
+        if let GossipWire::Delta { full_every: 0 } = self.gossip_wire {
+            return Err("gossip_wire delta anti-entropy period must be ≥ 1".into());
         }
         Ok(())
     }
@@ -300,6 +316,16 @@ mod tests {
         let mut c = ErosionConfig::tiny(4, 1);
         c.hub_shards = Some(0);
         assert!(c.validate().is_err());
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.gossip_wire = GossipWire::Delta { full_every: 0 };
+        assert!(c.validate().is_err());
+        let mut c = ErosionConfig::tiny(4, 1);
+        c.height = (1 << 16) + 1; // row indices of the frontier are u16
+        assert!(c.validate().is_err());
+        // P = 65536 itself is valid: rock cells carry no id, so the rank
+        // count is not bounded by the cell packing.
+        let c = ErosionConfig::tiny(1 << 16, 1);
+        c.validate().unwrap();
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub struct ErosionDelta {
 /// * `first_col` — global index of `cols[0]`;
 /// * `left`/`right` — neighbouring ranks' boundary column cells (halo), or
 ///   `None` at the domain borders;
-/// * `prob_of` — per-rock-id erosion probability.
+/// * `prob_of` — erosion probability by *global column index* (rock cells
+///   do not store their disc id; the disc is positional, so the caller
+///   derives it as `col / cols_per_stripe` — see [`crate::cell`]).
 ///
 /// Two-phase (gather decisions on the pre-iteration state, then apply), so
 /// the result is independent of column visit order and of the partitioning.
@@ -71,7 +73,7 @@ pub fn erosion_step(
     right: Option<&[Cell]>,
     seed: u64,
     iteration: u64,
-    prob_of: &dyn Fn(u16) -> f64,
+    prob_of: &dyn Fn(usize) -> f64,
 ) -> ErosionDelta {
     let height = cols.first().map_or(0, |c| c.height());
     // Phase 1: read-only decision pass over the exposed frontier.
@@ -104,8 +106,8 @@ pub fn erosion_step(
             if row + 1 < height && col.cell(row + 1).is_fluid() {
                 k += 1;
             }
-            let rock_id = col.cell(row).rock_id().expect("exposed rows are rock");
-            let p = prob_of(rock_id);
+            debug_assert!(col.cell(row).is_rock(), "exposed rows are rock");
+            let p = prob_of(first_col + ci);
             if erodes(seed, iteration, (first_col + ci) as u64, row as u64, k, p) {
                 decisions.push((ci, row));
             }
@@ -236,7 +238,8 @@ mod tests {
         // produce the same cells after several iterations.
         let g = Geometry::new(2, 40, 40, 8);
         let seed = 99;
-        let prob = |id: u16| if id == 0 { 0.4 } else { 0.1 };
+        // Disc id is positional: global columns 0..40 are disc 0.
+        let prob = |col: usize| if col / 40 == 0 { 0.4 } else { 0.1 };
 
         // Monolithic run.
         let mut whole = build_stripe(&g, 0..80);
@@ -269,7 +272,7 @@ mod tests {
     fn strong_rock_erodes_faster_than_weak() {
         let g = Geometry::new(2, 40, 40, 8);
         let mut cols = build_stripe(&g, 0..80);
-        let prob = |id: u16| if id == 0 { 0.4 } else { 0.02 };
+        let prob = |col: usize| if col / 40 == 0 { 0.4 } else { 0.02 };
         for iter in 0..40u64 {
             erosion_step(&mut cols, 0, None, None, 11, iter, &prob);
         }

@@ -48,7 +48,11 @@ impl Geometry {
     }
 
     /// The rock disc covering `(col, row)` initially, if any.
-    pub fn rock_at(&self, col: usize, row: usize) -> Option<u16> {
+    ///
+    /// This is also *the* id-derivation rule: a rock cell belongs to the
+    /// disc of its column's home stripe, `col / cols_per_stripe` — which is
+    /// why cells never store the id (see [`crate::cell`]).
+    pub fn rock_at(&self, col: usize, row: usize) -> Option<usize> {
         // Only the disc of this column's home stripe can cover it (the disc
         // fits strictly inside its stripe).
         let k = col / self.cols_per_stripe;
@@ -56,13 +60,13 @@ impl Geometry {
         let dx = col as f64 + 0.5 - cx;
         let dy = row as f64 + 0.5 - cy;
         let r = self.radius as f64;
-        (dx * dx + dy * dy <= r * r).then_some(k as u16)
+        (dx * dx + dy * dy <= r * r).then_some(k)
     }
 
     /// Initial cell at `(col, row)`.
     pub fn initial_cell(&self, col: usize, row: usize) -> Cell {
         match self.rock_at(col, row) {
-            Some(k) => Cell::rock(k),
+            Some(_) => Cell::ROCK,
             None => Cell::FLUID,
         }
     }

@@ -40,19 +40,28 @@ impl Default for Palette {
     }
 }
 
-/// Render columns (global order) into a PPM (P6) byte buffer.
+/// Render columns (a contiguous global window) into a PPM (P6) byte buffer.
 ///
-/// * `columns` — the full domain's columns, left to right;
+/// * `columns` — consecutive columns starting at global column
+///   `first_col` (pass the whole domain with `first_col = 0`, or any
+///   rank's stripe with its own `first_col`);
+/// * `first_col` — global index of `columns[0]`;
 /// * `strong` — sorted ids of strongly erodible rocks;
-/// * `bounds` — optional partition boundaries (interior bounds are drawn as
-///   1-pixel black columns).
+/// * `cols_per_stripe` — initial stripe width: a rock cell's disc id is
+///   positional, `global column / cols_per_stripe` (cells do not store
+///   ids; see [`crate::cell`]);
+/// * `bounds` — optional partition boundaries in window-local coordinates
+///   (interior bounds are drawn as 1-pixel black columns).
 pub fn render_ppm(
     columns: &[&Column],
-    strong: &[u16],
+    first_col: usize,
+    strong: &[usize],
+    cols_per_stripe: usize,
     bounds: Option<&[usize]>,
     palette: &Palette,
 ) -> Vec<u8> {
     assert!(!columns.is_empty(), "nothing to render");
+    assert!(cols_per_stripe >= 1, "stripes are at least one column wide");
     let width = columns.len();
     let height = columns[0].height();
     let mut out = Vec::with_capacity(32 + width * height * 3);
@@ -62,16 +71,19 @@ pub fn render_ppm(
     };
     for row in 0..height {
         for (ci, col) in columns.iter().enumerate() {
+            let cell = col.cell(row);
             let rgb = if is_boundary(ci) {
                 palette.boundary
-            } else {
-                let cell = col.cell(row);
-                match cell.rock_id() {
-                    Some(id) if strong.binary_search(&id).is_ok() => palette.strong_rock,
-                    Some(_) => palette.weak_rock,
-                    None if cell == crate::cell::Cell::REFINED => palette.refined,
-                    None => palette.fluid,
+            } else if cell.is_rock() {
+                if strong.binary_search(&((first_col + ci) / cols_per_stripe)).is_ok() {
+                    palette.strong_rock
+                } else {
+                    palette.weak_rock
                 }
+            } else if cell == crate::cell::Cell::REFINED {
+                palette.refined
+            } else {
+                palette.fluid
             };
             out.extend_from_slice(&rgb);
         }
@@ -83,10 +95,13 @@ pub fn render_ppm(
 pub fn write_ppm(
     path: &Path,
     columns: &[&Column],
-    strong: &[u16],
+    first_col: usize,
+    strong: &[usize],
+    cols_per_stripe: usize,
     bounds: Option<&[usize]>,
 ) -> std::io::Result<()> {
-    let bytes = render_ppm(columns, strong, bounds, &Palette::default());
+    let bytes =
+        render_ppm(columns, first_col, strong, cols_per_stripe, bounds, &Palette::default());
     let mut f = std::fs::File::create(path)?;
     f.write_all(&bytes)
 }
@@ -105,7 +120,7 @@ mod tests {
     fn header_and_size_are_correct() {
         let cols = domain();
         let refs: Vec<&Column> = cols.iter().collect();
-        let ppm = render_ppm(&refs, &[0], None, &Palette::default());
+        let ppm = render_ppm(&refs, 0, &[0], 24, None, &Palette::default());
         let header = b"P6\n48 24\n255\n";
         assert_eq!(&ppm[..header.len()], header);
         assert_eq!(ppm.len(), header.len() + 48 * 24 * 3);
@@ -116,7 +131,7 @@ mod tests {
         let cols = domain();
         let refs: Vec<&Column> = cols.iter().collect();
         let palette = Palette::default();
-        let ppm = render_ppm(&refs, &[0], None, &palette);
+        let ppm = render_ppm(&refs, 0, &[0], 24, None, &palette);
         let header_len = b"P6\n48 24\n255\n".len();
         let pixel = |col: usize, row: usize| -> Rgb {
             let off = header_len + (row * 48 + col) * 3;
@@ -129,11 +144,25 @@ mod tests {
     }
 
     #[test]
+    fn windowed_rendering_keeps_disc_identity() {
+        // Render only disc 1's stripe (global columns 24..48): the disc id
+        // must come from the *global* column, not the slice index, so a
+        // strong disc 1 stays strong in a window that does not start at 0.
+        let cols = domain();
+        let refs: Vec<&Column> = cols[24..48].iter().collect();
+        let palette = Palette::default();
+        let ppm = render_ppm(&refs, 24, &[1], 24, None, &palette);
+        let header_len = b"P6\n24 24\n255\n".len();
+        let off = header_len + (12 * 24 + 12) * 3; // disc 1's centre, window-local
+        assert_eq!([ppm[off], ppm[off + 1], ppm[off + 2]], palette.strong_rock);
+    }
+
+    #[test]
     fn boundaries_are_drawn() {
         let cols = domain();
         let refs: Vec<&Column> = cols.iter().collect();
         let palette = Palette::default();
-        let ppm = render_ppm(&refs, &[], Some(&[0, 24, 48]), &palette);
+        let ppm = render_ppm(&refs, 0, &[], 24, Some(&[0, 24, 48]), &palette);
         let header_len = b"P6\n48 24\n255\n".len();
         let off = header_len + 24 * 3; // row 0, col 24
         assert_eq!([ppm[off], ppm[off + 1], ppm[off + 2]], palette.boundary);
@@ -144,7 +173,7 @@ mod tests {
         let cols = domain();
         let refs: Vec<&Column> = cols.iter().collect();
         let path = std::env::temp_dir().join("ulba-snapshot-test.ppm");
-        write_ppm(&path, &refs, &[0], None).unwrap();
+        write_ppm(&path, &refs, 0, &[0], 24, None).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         assert!(bytes.starts_with(b"P6\n48 24\n255\n"));
         std::fs::remove_file(&path).ok();
@@ -161,7 +190,7 @@ mod tests {
         cols[ci].erode(row);
         let refs: Vec<&Column> = cols.iter().collect();
         let palette = Palette::default();
-        let ppm = render_ppm(&refs, &[], None, &palette);
+        let ppm = render_ppm(&refs, 0, &[], 24, None, &palette);
         let header_len = b"P6\n48 24\n255\n".len();
         let off = header_len + (row * 48 + ci) * 3;
         assert_eq!([ppm[off], ppm[off + 1], ppm[off + 2]], palette.refined);

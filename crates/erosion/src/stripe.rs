@@ -154,27 +154,44 @@ fn intersect(a: &std::ops::Range<usize>, b: &std::ops::Range<usize>) -> std::ops
     a.start.max(b.start)..a.end.min(b.end)
 }
 
+/// The ranks whose range under `partition` intersects `span`: because
+/// ranges are contiguous and rank-ordered, they form the contiguous rank
+/// interval `owner(span.start) ..= owner(span.end − 1)` — found with two
+/// binary searches instead of scanning all `P` ranks (which made every
+/// migration `O(P)` per rank, `O(P²)` across the machine).
+fn overlapping_ranks(
+    partition: &Partition,
+    span: &std::ops::Range<usize>,
+) -> std::ops::Range<usize> {
+    if span.is_empty() {
+        return 0..0;
+    }
+    partition.owner(span.start)..partition.owner(span.end - 1) + 1
+}
+
 /// Migrate columns so that this rank ends up owning exactly
-/// `partition.range(rank)`. `old_ranges` are all ranks' pre-migration
-/// ranges (e.g. from an `allgather`); ranges must be contiguous and
-/// rank-ordered in both partitions. Wrap in `begin_lb`/`end_lb` so the
-/// transfer time books as LB cost.
+/// `partition.range(rank)`. `old_partition` is the pre-migration partition
+/// (every rank's stripe must match its range — it is the same object on
+/// every rank between LB steps, so sharing it costs nothing); ranges must
+/// be contiguous and rank-ordered in both partitions. Wrap in
+/// `begin_lb`/`end_lb` so the transfer time books as LB cost.
 pub async fn migrate(
     ctx: &mut SpmdCtx,
     stripe: Stripe,
-    old_ranges: &[std::ops::Range<usize>],
+    old_partition: &Partition,
     partition: &Partition,
 ) -> Stripe {
     let rank = ctx.rank();
     let my_old = stripe.range();
-    debug_assert_eq!(old_ranges[rank], my_old, "old_ranges out of sync");
+    debug_assert_eq!(old_partition.range(rank), my_old, "old partition out of sync");
     let my_new = partition.range(rank);
 
-    // Decompose my columns into per-destination segments.
+    // Decompose my columns into per-destination segments (only ranks whose
+    // new range overlaps my old one can be destinations).
     let Stripe { first_col, cols } = stripe;
     let mut cols: Vec<Option<Column>> = cols.into_iter().map(Some).collect();
     let mut kept: Vec<(usize, Vec<Column>)> = Vec::new();
-    for dest in 0..ctx.size() {
+    for dest in overlapping_ranks(partition, &my_old) {
         let overlap = intersect(&my_old, &partition.range(dest));
         if overlap.is_empty() {
             continue;
@@ -190,13 +207,14 @@ pub async fn migrate(
         }
     }
 
-    // Receive the segments that make up my new range.
+    // Receive the segments that make up my new range (only ranks whose old
+    // range overlaps it can be sources).
     let mut segments = kept;
-    for (src, src_old) in old_ranges.iter().enumerate() {
+    for src in overlapping_ranks(old_partition, &my_new) {
         if src == rank {
             continue;
         }
-        if !intersect(src_old, &my_new).is_empty() {
+        if !intersect(&old_partition.range(src), &my_new).is_empty() {
             let (start, seg) = ctx.recv::<(usize, Vec<Column>)>(src, MIGRATE_TAG).await;
             segments.push((start, seg));
         }
@@ -281,8 +299,7 @@ mod tests {
             async move {
                 let rank = ctx.rank();
                 let stripe = Stripe::initial(g, rank * 32..(rank + 1) * 32);
-                let old: Vec<std::ops::Range<usize>> =
-                    (0..4).map(|r| r * 32..(r + 1) * 32).collect();
+                let old = Partition::from_bounds(vec![0, 32, 64, 96, 128], 128);
                 // New partition shifts everything: [0,16), [16,64), [64,120), [120,128).
                 let part = Partition::from_bounds(vec![0, 16, 64, 120, 128], 128);
                 let stripe = migrate(&mut ctx, stripe, &old, &part).await;
@@ -312,7 +329,7 @@ mod tests {
                 let rank = ctx.rank();
                 let stripe = Stripe::initial(g, rank * 32..(rank + 1) * 32);
                 let before = stripe.clone();
-                let old = vec![0..32, 32..64];
+                let old = Partition::from_bounds(vec![0, 32, 64], 64);
                 let part = Partition::from_bounds(vec![0, 32, 64], 64);
                 let after = migrate(&mut ctx, stripe, &old, &part).await;
                 assert_eq!(after, before);

@@ -9,7 +9,7 @@
 //! invisible in the results.
 
 use proptest::prelude::*;
-use ulba_core::gossip::GossipMode;
+use ulba_core::gossip::{GossipMode, GossipWire};
 use ulba_core::policy::LbPolicy;
 use ulba_erosion::{run_erosion, ErosionConfig, ExperimentResult};
 use ulba_runtime::Backend;
@@ -40,6 +40,8 @@ fn assert_bit_identical(reference: &ExperimentResult, other: &ExperimentResult, 
     assert_eq!(reference.mean_utilization.to_bits(), other.mean_utilization.to_bits(), "{backend}");
     assert_eq!(reference.final_total_weight, other.final_total_weight, "{backend}");
     assert_eq!(reference.total_eroded, other.total_eroded, "{backend}");
+    assert_eq!(reference.db_entries_total, other.db_entries_total, "{backend}");
+    assert_eq!(reference.gossip_watermarks_total, other.gossip_watermarks_total, "{backend}");
     assert_eq!(reference.rank_metrics.len(), other.rank_metrics.len(), "{backend}");
     for (rank, (a, b)) in reference.rank_metrics.iter().zip(&other.rank_metrics).enumerate() {
         assert_eq!(a.busy.to_bits(), b.busy.to_bits(), "{backend}: rank {rank} busy");
@@ -118,6 +120,24 @@ fn equivalent_at_128_ranks() {
     assert_backends_equivalent(&cfg);
 }
 
+/// The gossip wire format as a free dimension: for each format (full
+/// snapshots, delta with a tight anti-entropy period, delta with the
+/// default period) the three backends must agree bit-for-bit — at a ragged
+/// P with LB activity, so delta payload construction runs under real
+/// migrations. The wire format changes what the bytes on the wire *are*,
+/// so reports differ *across* formats; determinism within one must hold
+/// regardless.
+#[test]
+fn wire_formats_equivalent_across_backends_at_ragged_97_ranks() {
+    for wire in [GossipWire::Full, GossipWire::Delta { full_every: 4 }, GossipWire::delta()] {
+        let mut cfg = ErosionConfig::tiny(97, 3);
+        cfg.iterations = 15;
+        cfg.initial_lb_cost_factor = 0.05; // make the trigger actually fire
+        cfg.gossip_wire = wire;
+        assert_backends_equivalent(&cfg);
+    }
+}
+
 /// Both LB policies and a standard trigger config at a mid-size P.
 #[test]
 fn equivalent_under_both_policies() {
@@ -151,6 +171,8 @@ proptest! {
         anticipate in any::<bool>(),
         ring_gossip in any::<bool>(),
         hub_shards in 1usize..16,
+        delta_wire in any::<bool>(),
+        full_every in 1u64..20,
     ) {
         let mut cfg = ErosionConfig::tiny(ranks, strong.min(ranks));
         cfg.iterations = iterations;
@@ -161,6 +183,11 @@ proptest! {
             GossipMode::Ring
         } else {
             GossipMode::RandomPush { fanout: 2 }
+        };
+        cfg.gossip_wire = if delta_wire {
+            GossipWire::Delta { full_every }
+        } else {
+            GossipWire::Full
         };
         cfg.hub_shards = Some(hub_shards);
         assert_backends_equivalent(&cfg);

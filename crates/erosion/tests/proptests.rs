@@ -64,7 +64,8 @@ proptest! {
     #[test]
     fn split_simulation_matches_whole(seed in any::<u64>(), p_strong in 0.05f64..0.5) {
         let g = Geometry::new(2, 36, 36, 8);
-        let prob = move |id: u16| if id == 0 { p_strong } else { 0.05 };
+        // Disc id is positional: global columns 0..36 are disc 0.
+        let prob = move |col: usize| if col / 36 == 0 { p_strong } else { 0.05 };
 
         let mut whole = build(&g, 0..72);
         for iter in 0..12u64 {

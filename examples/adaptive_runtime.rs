@@ -12,10 +12,15 @@
 //! runs the same program (with a bit-identical report) on the
 //! work-stealing pool instead of one thread per rank.
 
+use ulba::core::outlier::{z_from, z_params};
 use ulba::core::prelude::*;
 use ulba::runtime::{run, RunConfig};
 
 const GOSSIP: u64 = 9;
+/// Delta gossip with a 16-iteration anti-entropy period: messages carry
+/// only entries the peer has not plausibly seen, and the bytes charged on
+/// the (virtual) wire reflect exactly that.
+const WIRE: GossipWire = GossipWire::Delta { full_every: 16 };
 
 fn main() {
     let pes = 16usize;
@@ -35,6 +40,7 @@ fn main() {
         let mut weights: Vec<u64> = vec![100; items_per_rank];
         let mut wir = WirEstimator::new(6);
         let mut db = WirDatabase::new(p);
+        let mut outbox = GossipOutbox::new();
         let mut trigger = ZhaiTrigger::new(LbCostModel::default().with_initial(0.05));
 
         for iter in 0..iterations {
@@ -56,7 +62,9 @@ fn main() {
                 db.update(WirEntry { rank, wir: rate, iteration: iter });
             }
             for peer in select_peers(GossipMode::RandomPush { fanout: 2 }, rank, p, iter, 1) {
-                ctx.send(peer, GOSSIP, db.snapshot(), db.snapshot_bytes());
+                let payload = outbox.message(&db, peer, iter, WIRE);
+                let bytes = wire_bytes(&payload);
+                ctx.send(peer, GOSSIP, payload, bytes);
             }
 
             // Iteration wall time + deterministic gossip drain.
@@ -76,7 +84,10 @@ fn main() {
                 // A synthetic fixed LB cost (repartitioning a real domain
                 // is never free; without it the trigger would thrash).
                 ctx.elapse_lb(0.05);
-                let my_z = z_scores(&db.wirs_or(0.0))[rank];
+                // Streaming z-score: same value z_scores(&db.wirs_or(0.0))[rank]
+                // would give, without materializing the dense vector.
+                let (m, sd) = z_params(db.wirs_iter(0.0), p);
+                let my_z = z_from(db.get(rank).map_or(0.0, |e| e.wir), m, sd);
                 let alpha = LbPolicy::ulba_fixed(0.3).alpha_for(my_z);
                 let outcome = centralized_rebalance(&mut ctx, alpha, start, &weights).await;
                 // Migrate the plain weight vector (no cell payload here).

@@ -200,6 +200,44 @@ fn halo_only_stress_without_the_hub() {
 }
 
 #[test]
+fn sparse_db_large_p_erosion_smoke() {
+    // The full erosion application at P = 2048 on the sequential backend —
+    // a scale at which the old dense WIR database alone would hold
+    // 2048² ≈ 4.2 M entries (~100 MB). With the sparse database and delta
+    // gossip over a short Ring run, each rank only ever holds what the ring
+    // delivered (≤ iterations + 1 entries), and the run's aggregate
+    // footprint must reflect that.
+    use ulba::core::gossip::{GossipMode, GossipWire};
+    use ulba::erosion::{run_erosion, ErosionConfig};
+
+    let p = 2048usize;
+    let iterations = 6u64;
+    let mut cfg = ErosionConfig::tiny(p, 4);
+    cfg.cols_per_pe = 32;
+    cfg.height = 32;
+    cfg.rock_radius = 7;
+    cfg.iterations = iterations;
+    cfg.gossip = GossipMode::Ring;
+    cfg.gossip_wire = GossipWire::delta();
+    cfg.backend = Some(Backend::Sequential);
+    let res = run_erosion(&cfg);
+    assert_eq!(res.iterations.len(), iterations as usize);
+    assert!(res.makespan > 0.0);
+    let per_rank_bound = iterations + 1; // own entry + one heard per ring round
+    assert!(
+        res.db_entries_total <= p as u64 * per_rank_bound,
+        "database grew beyond what gossip delivered: {} > {}",
+        res.db_entries_total,
+        p as u64 * per_rank_bound
+    );
+    assert!(
+        res.db_entries_total >= p as u64,
+        "every rank must at least know itself after {iterations} iterations"
+    );
+    assert_eq!(res.gossip_watermarks_total, p as u64, "Ring tracks one peer per rank");
+}
+
+#[test]
 fn large_rank_count_with_collectives() {
     // 200 rank threads on whatever cores exist: the hub must scale.
     let report = run(RunConfig::new(200), |mut ctx| async move {
