@@ -1,10 +1,14 @@
 //! Ablation E-A2: α rule (fixed vs dynamic z-scaled vs robust detection).
 //! `--backend <threaded|sequential>` selects the runtime backend;
 //! `--ranks 32,64` overrides the PE sweep.
-use ulba_bench::output::{apply_cli_backend, cli_ranks};
+use ulba_bench::output::{apply_cli_backend, cli_ranks, json_report_path};
 
 fn main() {
     apply_cli_backend();
     let pes = cli_ranks().unwrap_or_else(|| vec![32, 64]);
-    ulba_bench::figures::ablations::alpha_rule_ablation(&pes, 11);
+    ulba_bench::figures::ablations::alpha_rule_ablation(
+        &pes,
+        11,
+        Some(&json_report_path("ablation_alpha")),
+    );
 }

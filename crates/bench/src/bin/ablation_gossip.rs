@@ -1,10 +1,14 @@
 //! Ablation E-A3: gossip dissemination mode.
 //! `--backend <threaded|sequential>` selects the runtime backend;
 //! `--ranks <p>` overrides the PE count.
-use ulba_bench::output::{apply_cli_backend, cli_ranks};
+use ulba_bench::output::{apply_cli_backend, cli_ranks, json_report_path};
 
 fn main() {
     apply_cli_backend();
     let pes = cli_ranks().map_or(64, |pes| pes[0]);
-    ulba_bench::figures::ablations::gossip_ablation(pes, 11);
+    ulba_bench::figures::ablations::gossip_ablation(
+        pes,
+        11,
+        Some(&json_report_path("ablation_gossip")),
+    );
 }

@@ -1,10 +1,10 @@
 //! Regenerates Fig. 4b (average PE utilization timeline, 32 PEs, 1 rock).
 //! `--backend <threaded|sequential>` selects the runtime backend;
 //! `--ranks <p>` overrides the PE count.
-use ulba_bench::output::{apply_cli_backend, cli_ranks};
+use ulba_bench::output::{apply_cli_backend, cli_ranks, json_report_path};
 
 fn main() {
     apply_cli_backend();
     let pes = cli_ranks().map_or(32, |pes| pes[0]);
-    ulba_bench::figures::fig4::run_4b(pes, 11);
+    ulba_bench::figures::fig4::run_4b(pes, 11, Some(&json_report_path("fig4b")));
 }

@@ -2,7 +2,7 @@
 //! `--backend <threaded|sequential>` selects the runtime backend;
 //! `--ranks 64,256` overrides the PE sweep.
 use ulba_bench::figures::{MEDIAN_SEEDS, PAPER_PE_COUNTS};
-use ulba_bench::output::{apply_cli_backend, cli_ranks, env_usize, quick_mode};
+use ulba_bench::output::{apply_cli_backend, cli_ranks, env_usize, json_report_path, quick_mode};
 
 fn main() {
     apply_cli_backend();
@@ -14,5 +14,9 @@ fn main() {
             PAPER_PE_COUNTS.to_vec()
         }
     });
-    ulba_bench::figures::fig5::run(&pes, &MEDIAN_SEEDS[..seeds.clamp(1, 5)]);
+    ulba_bench::figures::fig5::run(
+        &pes,
+        &MEDIAN_SEEDS[..seeds.clamp(1, 5)],
+        Some(&json_report_path("fig5")),
+    );
 }

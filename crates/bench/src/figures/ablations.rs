@@ -2,14 +2,39 @@
 //! trigger choice, α rule (including the paper's announced future work,
 //! dynamic α), and gossip dissemination mode.
 
-use crate::output::{print_table, write_csv};
+use crate::output::{
+    batch_backend_label, perf_row, print_table, quick_mode, write_csv, write_schema3_report,
+    PerfRow,
+};
+use std::path::Path;
+use std::time::Instant;
 use ulba_core::gossip::{simulate_rounds_to_completion, GossipMode};
 use ulba_core::outlier::DetectionStat;
 use ulba_core::policy::{LbPolicy, UlbaConfig};
-use ulba_erosion::{run_erosion, ErosionConfig, TriggerKind};
+use ulba_erosion::{run_erosion_batch, ErosionConfig, ExperimentResult, TriggerKind};
 
-/// E-A1 — trigger choice on the erosion app (fixed policy per arm).
-pub fn trigger_ablation(ranks: usize, seed: u64) {
+/// Submit a whole ablation's arms to the shared job server as one batch
+/// and return the results in arm order, plus the sweep's wall time and
+/// the schema-3 rows (policy = arm label).
+fn run_arms(arms: &[(String, usize, ErosionConfig)]) -> (Vec<ExperimentResult>, f64, Vec<PerfRow>) {
+    let cfgs: Vec<ErosionConfig> = arms.iter().map(|(_, _, cfg)| cfg.clone()).collect();
+    let started = Instant::now();
+    let results = run_erosion_batch(&cfgs);
+    let sweep_wall = started.elapsed().as_secs_f64();
+    let backend = batch_backend_label();
+    let rows = arms
+        .iter()
+        .zip(&results)
+        .map(|((label, ranks, cfg), res)| {
+            perf_row(&backend, label, *ranks, &cfg.gossip_wire.to_string(), res, sweep_wall)
+        })
+        .collect();
+    (results, sweep_wall, rows)
+}
+
+/// E-A1 — trigger choice on the erosion app (fixed policy per arm); all
+/// arms run concurrently on the shared job server.
+pub fn trigger_ablation(ranks: usize, seed: u64, json: Option<&Path>) {
     println!("Ablation E-A1 — LB trigger choice ({ranks} PEs, 1 strong rock)");
     let arms: Vec<(&str, LbPolicy, TriggerKind)> = vec![
         ("standard+zhai", LbPolicy::Standard, TriggerKind::Zhai),
@@ -20,29 +45,42 @@ pub fn trigger_ablation(ranks: usize, seed: u64) {
         ("ulba+zhai", LbPolicy::ulba_fixed(0.4), TriggerKind::Zhai),
         ("ulba+menon", LbPolicy::ulba_fixed(0.4), TriggerKind::Menon { max_interval: 200 }),
     ];
-    let mut rows = Vec::new();
-    for (name, policy, trigger) in arms {
-        let mut cfg = ErosionConfig::scaled(ranks, 1);
-        cfg.policy = policy;
-        cfg.trigger = trigger;
-        cfg.seed = seed;
-        let res = run_erosion(&cfg);
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.2}", res.makespan),
-            res.lb_calls.to_string(),
-            format!("{:.1}%", res.mean_utilization * 100.0),
-        ]);
-    }
+    let specs: Vec<(String, usize, ErosionConfig)> = arms
+        .into_iter()
+        .map(|(name, policy, trigger)| {
+            let mut cfg = ErosionConfig::scaled(ranks, 1);
+            cfg.policy = policy;
+            cfg.trigger = trigger;
+            cfg.seed = seed;
+            (name.to_string(), ranks, cfg)
+        })
+        .collect();
+    let (results, _, perf_rows) = run_arms(&specs);
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .zip(&results)
+        .map(|((name, ..), res)| {
+            vec![
+                name.clone(),
+                format!("{:.2}", res.makespan),
+                res.lb_calls.to_string(),
+                format!("{:.1}%", res.mean_utilization * 100.0),
+            ]
+        })
+        .collect();
     print_table("trigger ablation", &["configuration", "time [s]", "LB calls", "mean util"], &rows);
     let path =
         write_csv("ablation_trigger", &["configuration", "time_s", "lb_calls", "mean_util"], &rows);
     println!("wrote {}", path.display());
+    if let Some(path) = json {
+        write_schema3_report("ablation_trigger", quick_mode(), &[], &perf_rows, path);
+    }
 }
 
 /// E-A2 — α rule: the paper's fixed α vs the z-score-scaled dynamic α
-/// (announced as future work in §V) vs robust outlier detection.
-pub fn alpha_rule_ablation(pe_counts: &[usize], seed: u64) {
+/// (announced as future work in §V) vs robust outlier detection; the
+/// whole (P × rule) sweep runs concurrently on the shared job server.
+pub fn alpha_rule_ablation(pe_counts: &[usize], seed: u64, json: Option<&Path>) {
     println!("Ablation E-A2 — α rule (1 strong rock)");
     let mut robust = UlbaConfig::fixed(0.4);
     robust.stat = DetectionStat::RobustZScore;
@@ -55,24 +93,31 @@ pub fn alpha_rule_ablation(pe_counts: &[usize], seed: u64) {
         ("z-scaled α≤0.8", LbPolicy::Ulba(UlbaConfig::z_scaled(0.8))),
         ("z-scaled α≤0.8, robust stat", LbPolicy::Ulba(robust_scaled)),
     ];
+    let specs: Vec<(String, usize, ErosionConfig)> = pe_counts
+        .iter()
+        .flat_map(|&ranks| {
+            arms.iter().map(move |(name, policy)| {
+                let mut cfg = ErosionConfig::scaled(ranks, 1);
+                cfg.policy = *policy;
+                cfg.seed = seed;
+                (name.to_string(), ranks, cfg)
+            })
+        })
+        .collect();
+    let (results, _, perf_rows) = run_arms(&specs);
     let mut rows = Vec::new();
-    for &ranks in pe_counts {
-        let mut std_time = None;
-        for (name, policy) in &arms {
-            let mut cfg = ErosionConfig::scaled(ranks, 1);
-            cfg.policy = *policy;
-            cfg.seed = seed;
-            let res = run_erosion(&cfg);
-            let gain = match std_time {
-                None => {
-                    std_time = Some(res.makespan);
-                    0.0
-                }
-                Some(t) => (t - res.makespan) / t * 100.0,
+    for (chunk, spec_chunk) in results.chunks(arms.len()).zip(specs.chunks(arms.len())) {
+        // The first arm of each P group is the standard baseline.
+        let std_time = chunk[0].makespan;
+        for ((name, ranks, _), res) in spec_chunk.iter().zip(chunk) {
+            let gain = if res.makespan == std_time {
+                0.0
+            } else {
+                (std_time - res.makespan) / std_time * 100.0
             };
             rows.push(vec![
                 ranks.to_string(),
-                name.to_string(),
+                name.clone(),
                 format!("{:.2}", res.makespan),
                 res.lb_calls.to_string(),
                 format!("{gain:+.1}%"),
@@ -90,6 +135,9 @@ pub fn alpha_rule_ablation(pe_counts: &[usize], seed: u64) {
         &rows,
     );
     println!("wrote {}", path.display());
+    if let Some(path) = json {
+        write_schema3_report("ablation_alpha", quick_mode(), &[], &perf_rows, path);
+    }
 }
 
 /// E-A4 — anticipatory (predicted-weight) partitioning: our spatial
@@ -97,7 +145,7 @@ pub fn alpha_rule_ablation(pe_counts: &[usize], seed: u64) {
 /// the expected LB interval balances the *future* load — the standard
 /// method with prediction behaves like ULBA with a per-region α derived
 /// automatically from the measured growth.
-pub fn anticipation_ablation(pe_counts: &[usize], seed: u64) {
+pub fn anticipation_ablation(pe_counts: &[usize], seed: u64, json: Option<&Path>) {
     println!("Ablation E-A4 — anticipatory partitioning (1 strong rock)");
     let arms: Vec<(&str, LbPolicy, bool)> = vec![
         ("standard", LbPolicy::Standard, false),
@@ -105,25 +153,32 @@ pub fn anticipation_ablation(pe_counts: &[usize], seed: u64) {
         ("ulba α=0.4 (paper)", LbPolicy::ulba_fixed(0.4), false),
         ("ulba α=0.4+prediction", LbPolicy::ulba_fixed(0.4), true),
     ];
+    let specs: Vec<(String, usize, ErosionConfig)> = pe_counts
+        .iter()
+        .flat_map(|&ranks| {
+            arms.iter().map(move |(name, policy, anticipate)| {
+                let mut cfg = ErosionConfig::scaled(ranks, 1);
+                cfg.policy = *policy;
+                cfg.anticipatory_partitioning = *anticipate;
+                cfg.seed = seed;
+                (name.to_string(), ranks, cfg)
+            })
+        })
+        .collect();
+    let (results, _, perf_rows) = run_arms(&specs);
     let mut rows = Vec::new();
-    for &ranks in pe_counts {
-        let mut std_time = None;
-        for (name, policy, anticipate) in &arms {
-            let mut cfg = ErosionConfig::scaled(ranks, 1);
-            cfg.policy = *policy;
-            cfg.anticipatory_partitioning = *anticipate;
-            cfg.seed = seed;
-            let res = run_erosion(&cfg);
-            let gain = match std_time {
-                None => {
-                    std_time = Some(res.makespan);
-                    0.0
-                }
-                Some(t) => (t - res.makespan) / t * 100.0,
+    for (chunk, spec_chunk) in results.chunks(arms.len()).zip(specs.chunks(arms.len())) {
+        // The first arm of each P group is the standard baseline.
+        let std_time = chunk[0].makespan;
+        for ((name, ranks, _), res) in spec_chunk.iter().zip(chunk) {
+            let gain = if res.makespan == std_time {
+                0.0
+            } else {
+                (std_time - res.makespan) / std_time * 100.0
             };
             rows.push(vec![
                 ranks.to_string(),
-                name.to_string(),
+                name.clone(),
                 format!("{:.2}", res.makespan),
                 res.lb_calls.to_string(),
                 format!("{:.1}%", res.mean_utilization * 100.0),
@@ -142,11 +197,15 @@ pub fn anticipation_ablation(pe_counts: &[usize], seed: u64) {
         &rows,
     );
     println!("wrote {}", path.display());
+    if let Some(path) = json {
+        write_schema3_report("ablation_anticipation", quick_mode(), &[], &perf_rows, path);
+    }
 }
 
 /// E-A3 — gossip mode: convergence rounds (round-based simulation) and
-/// end-to-end effect on the erosion app.
-pub fn gossip_ablation(ranks: usize, seed: u64) {
+/// end-to-end effect on the erosion app; the erosion arms run concurrently
+/// on the shared job server.
+pub fn gossip_ablation(ranks: usize, seed: u64, json: Option<&Path>) {
     println!("Ablation E-A3 — gossip dissemination mode ({ranks} PEs, 1 strong rock)");
     let modes: Vec<(&str, GossipMode)> = vec![
         ("ring", GossipMode::Ring),
@@ -155,15 +214,21 @@ pub fn gossip_ablation(ranks: usize, seed: u64) {
         ("push f=4", GossipMode::RandomPush { fanout: 4 }),
         ("hybrid f=1", GossipMode::Hybrid { fanout: 1 }),
     ];
+    let specs: Vec<(String, usize, ErosionConfig)> = modes
+        .iter()
+        .map(|&(name, mode)| {
+            let mut cfg = ErosionConfig::scaled(ranks, 1);
+            cfg.gossip = mode;
+            cfg.seed = seed;
+            (name.to_string(), ranks, cfg)
+        })
+        .collect();
+    let (results, _, perf_rows) = run_arms(&specs);
     let mut rows = Vec::new();
-    for (name, mode) in modes {
+    for (&(name, mode), res) in modes.iter().zip(&results) {
         let rounds = simulate_rounds_to_completion(mode, ranks, seed, 4 * ranks)
             .map(|r| r.to_string())
             .unwrap_or_else(|| format!(">{}", 4 * ranks));
-        let mut cfg = ErosionConfig::scaled(ranks, 1);
-        cfg.gossip = mode;
-        cfg.seed = seed;
-        let res = run_erosion(&cfg);
         rows.push(vec![
             name.to_string(),
             rounds,
@@ -179,6 +244,9 @@ pub fn gossip_ablation(ranks: usize, seed: u64) {
     let path =
         write_csv("ablation_gossip", &["mode", "rounds_to_full_db", "time_s", "lb_calls"], &rows);
     println!("wrote {}", path.display());
+    if let Some(path) = json {
+        write_schema3_report("ablation_gossip", quick_mode(), &[], &perf_rows, path);
+    }
 }
 
 #[cfg(test)]
@@ -187,9 +255,9 @@ mod tests {
     fn ablations_run_small() {
         std::env::set_var("ULBA_RESULTS", std::env::temp_dir().join("ulba-abl-test"));
         // Tiny PE counts: plumbing checks only.
-        super::trigger_ablation(4, 11);
-        super::alpha_rule_ablation(&[4], 11);
-        super::gossip_ablation(4, 11);
+        super::trigger_ablation(4, 11, None);
+        super::alpha_rule_ablation(&[4], 11, None);
+        super::gossip_ablation(4, 11, None);
         std::env::remove_var("ULBA_RESULTS");
     }
 }

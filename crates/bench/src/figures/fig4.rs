@@ -7,9 +7,13 @@
 //! * **4b**: per-iteration average PE utilization for 32 PEs / 1 rock, both
 //!   methods; ULBA shows fewer utilization drops and 62.5 % fewer LB calls.
 
-use crate::output::{bar, print_table, write_csv};
+use crate::output::{
+    bar, batch_backend_label, perf_row, print_table, quick_mode, write_csv, write_schema3_report,
+};
+use std::path::Path;
+use std::time::Instant;
 use ulba_core::policy::LbPolicy;
-use ulba_erosion::{run_erosion, run_erosion_median, ErosionConfig, ExperimentResult};
+use ulba_erosion::{median_result, run_erosion_batch, ErosionConfig, ExperimentResult};
 
 /// One Fig. 4a cell.
 #[derive(Debug, Clone)]
@@ -37,30 +41,61 @@ fn config_for(ranks: usize, strong: usize, policy: LbPolicy) -> ErosionConfig {
     cfg
 }
 
-/// Run the Fig. 4a sweep.
-pub fn run_4a(pe_counts: &[usize], rock_counts: &[usize], seeds: &[u64]) -> Vec<Fig4aCell> {
+/// Run the Fig. 4a sweep as one batch: every (rocks, P, policy, seed)
+/// combination is submitted to the shared job server at once, then reduced
+/// to per-cell medians. `json` additionally writes the schema-3 report
+/// (one row per median, policy `standard` / `ulba`, in sweep order — rows
+/// repeat per rock count).
+pub fn run_4a(
+    pe_counts: &[usize],
+    rock_counts: &[usize],
+    seeds: &[u64],
+    json: Option<&Path>,
+) -> Vec<Fig4aCell> {
     println!(
         "Fig. 4a — erosion app: standard(+Zhai) vs ULBA (α = 0.4), median of \
          {} seed(s)",
         seeds.len()
     );
-    let mut cells = Vec::new();
+    let policies = [("standard", LbPolicy::Standard), ("ulba", LbPolicy::ulba_fixed(0.4))];
+    let mut specs = Vec::new();
     for &strong in rock_counts {
         for &ranks in pe_counts {
-            let std_res = run_erosion_median(&config_for(ranks, strong, LbPolicy::Standard), seeds);
-            let ulba_res =
-                run_erosion_median(&config_for(ranks, strong, LbPolicy::ulba_fixed(0.4)), seeds);
-            eprintln!(
-                "  [P={ranks} rocks={strong}] std {:.2}s ({} LB) vs ulba {:.2}s ({} LB)",
-                std_res.makespan, std_res.lb_calls, ulba_res.makespan, ulba_res.lb_calls
-            );
-            cells.push(Fig4aCell {
-                ranks,
-                strong,
-                standard: std_res.makespan,
-                ulba: ulba_res.makespan,
-            });
+            for (label, policy) in policies {
+                specs.push((strong, ranks, label, policy));
+            }
         }
+    }
+    let cfgs: Vec<ErosionConfig> = specs
+        .iter()
+        .flat_map(|&(strong, ranks, _, policy)| {
+            seeds.iter().map(move |&seed| {
+                let mut cfg = config_for(ranks, strong, policy);
+                cfg.seed = seed;
+                cfg
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    let mut results = run_erosion_batch(&cfgs).into_iter();
+    let sweep_wall = started.elapsed().as_secs_f64();
+    let medians: Vec<ExperimentResult> =
+        specs.iter().map(|_| median_result(results.by_ref().take(seeds.len()).collect())).collect();
+
+    let mut cells = Vec::new();
+    for (pair, spec) in medians.chunks(2).zip(specs.chunks(2)) {
+        let (std_res, ulba_res) = (&pair[0], &pair[1]);
+        let (strong, ranks, ..) = spec[0];
+        eprintln!(
+            "  [P={ranks} rocks={strong}] std {:.2}s ({} LB) vs ulba {:.2}s ({} LB)",
+            std_res.makespan, std_res.lb_calls, ulba_res.makespan, ulba_res.lb_calls
+        );
+        cells.push(Fig4aCell {
+            ranks,
+            strong,
+            standard: std_res.makespan,
+            ulba: ulba_res.makespan,
+        });
     }
 
     let rows: Vec<Vec<String>> = cells
@@ -101,18 +136,41 @@ pub fn run_4a(pe_counts: &[usize], rock_counts: &[usize], seeds: &[u64]) -> Vec<
         &csv_rows,
     );
     println!("wrote {}", path.display());
+
+    if let Some(path) = json {
+        let backend = batch_backend_label();
+        let wire = cfgs[0].gossip_wire.to_string();
+        let rows: Vec<_> = specs
+            .iter()
+            .zip(&medians)
+            .map(|(&(_, ranks, label, _), res)| {
+                perf_row(&backend, label, ranks, &wire, res, sweep_wall)
+            })
+            .collect();
+        write_schema3_report("fig4a", quick_mode(), &[], &rows, path);
+    }
     cells
 }
 
 /// Run the Fig. 4b utilization study (32 PEs, 1 strong rock by default).
-pub fn run_4b(ranks: usize, seed: u64) -> (ExperimentResult, ExperimentResult) {
+/// The standard and ULBA runs are submitted to the shared job server as
+/// one batch of two.
+pub fn run_4b(
+    ranks: usize,
+    seed: u64,
+    json: Option<&Path>,
+) -> (ExperimentResult, ExperimentResult) {
     println!("Fig. 4b — average PE utilization, {ranks} PEs, 1 strongly erodible rock");
     let mut std_cfg = config_for(ranks, 1, LbPolicy::Standard);
     std_cfg.seed = seed;
     let mut ulba_cfg = config_for(ranks, 1, LbPolicy::ulba_fixed(0.4));
     ulba_cfg.seed = seed;
-    let std_res = run_erosion(&std_cfg);
-    let ulba_res = run_erosion(&ulba_cfg);
+    let wire = std_cfg.gossip_wire.to_string();
+    let started = Instant::now();
+    let mut results = run_erosion_batch(&[std_cfg, ulba_cfg]);
+    let sweep_wall = started.elapsed().as_secs_f64();
+    let ulba_res = results.pop().expect("two results");
+    let std_res = results.pop().expect("two results");
 
     println!("\niter   standard util          ULBA util");
     for (a, b) in std_res.iterations.iter().zip(&ulba_res.iterations) {
@@ -164,6 +222,15 @@ pub fn run_4b(ranks: usize, seed: u64) -> (ExperimentResult, ExperimentResult) {
         &csv_rows,
     );
     println!("wrote {}", path.display());
+
+    if let Some(path) = json {
+        let backend = batch_backend_label();
+        let rows = [
+            perf_row(&backend, "standard", ranks, &wire, &std_res, sweep_wall),
+            perf_row(&backend, "ulba", ranks, &wire, &ulba_res, sweep_wall),
+        ];
+        write_schema3_report("fig4b", quick_mode(), &[], &rows, path);
+    }
     (std_res, ulba_res)
 }
 
@@ -182,7 +249,7 @@ mod tests {
         std::env::set_var("ULBA_RESULTS", std::env::temp_dir().join("ulba-fig4-test"));
         // Tiny scale smoke: 8 PEs, 1 rock, 1 seed — checks plumbing, not
         // magnitudes.
-        let cells = run_4a(&[8], &[1], &[11]);
+        let cells = run_4a(&[8], &[1], &[11], None);
         assert_eq!(cells.len(), 1);
         assert!(cells[0].standard > 0.0 && cells[0].ulba > 0.0);
         std::env::remove_var("ULBA_RESULTS");

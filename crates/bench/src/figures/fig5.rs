@@ -6,9 +6,13 @@
 //! significant gain above α = 0.4 for 32–128 PEs, while 256 PEs still
 //! improves from 0.4 to 0.5 (larger P − N supports a larger α, Eq. (11)).
 
-use crate::output::{print_table, write_csv};
+use crate::output::{
+    batch_backend_label, perf_row, print_table, quick_mode, write_csv, write_schema3_report,
+};
+use std::path::Path;
+use std::time::Instant;
 use ulba_core::policy::LbPolicy;
-use ulba_erosion::{run_erosion_median, ErosionConfig};
+use ulba_erosion::{median_result, run_erosion_batch, ErosionConfig, ExperimentResult};
 
 /// The α grid of the paper's Fig. 5.
 pub const ALPHAS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
@@ -31,19 +35,41 @@ impl Fig5Series {
     }
 }
 
-/// Run the α sweep.
-pub fn run(pe_counts: &[usize], seeds: &[u64]) -> Vec<Fig5Series> {
+/// Run the α sweep as one batch: every (P, α, seed) combination is
+/// submitted to the shared job server at once, then reduced to per-(P, α)
+/// medians. `json` additionally writes the schema-3 report (policy label
+/// `ulba-fixed:<α>`).
+pub fn run(pe_counts: &[usize], seeds: &[u64], json: Option<&Path>) -> Vec<Fig5Series> {
     println!(
         "Fig. 5 — α tuning on the erosion app (1 strong rock, median of {} seed(s))",
         seeds.len()
     );
+    let specs: Vec<(usize, f64)> = pe_counts
+        .iter()
+        .flat_map(|&ranks| ALPHAS.iter().map(move |&alpha| (ranks, alpha)))
+        .collect();
+    let cfgs: Vec<ErosionConfig> = specs
+        .iter()
+        .flat_map(|&(ranks, alpha)| {
+            seeds.iter().map(move |&seed| {
+                let mut cfg = ErosionConfig::scaled(ranks, 1);
+                cfg.policy = LbPolicy::ulba_fixed(alpha);
+                cfg.seed = seed;
+                cfg
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    let mut results = run_erosion_batch(&cfgs).into_iter();
+    let sweep_wall = started.elapsed().as_secs_f64();
+    let medians: Vec<ExperimentResult> =
+        specs.iter().map(|_| median_result(results.by_ref().take(seeds.len()).collect())).collect();
+
     let mut series = Vec::new();
-    for &ranks in pe_counts {
+    for (chunk, spec_chunk) in medians.chunks(ALPHAS.len()).zip(specs.chunks(ALPHAS.len())) {
+        let ranks = spec_chunk[0].0;
         let mut points = Vec::new();
-        for &alpha in &ALPHAS {
-            let mut cfg = ErosionConfig::scaled(ranks, 1);
-            cfg.policy = LbPolicy::ulba_fixed(alpha);
-            let res = run_erosion_median(&cfg, seeds);
+        for (res, &(_, alpha)) in chunk.iter().zip(spec_chunk) {
             eprintln!("  [P={ranks} α={alpha}] {:.2}s ({} LB)", res.makespan, res.lb_calls);
             points.push((alpha, res.makespan));
         }
@@ -76,6 +102,19 @@ pub fn run(pe_counts: &[usize], seeds: &[u64]) -> Vec<Fig5Series> {
         .collect();
     let path = write_csv("fig5_alpha_tuning", &["pes", "alpha", "time_s"], &csv_rows);
     println!("wrote {}", path.display());
+
+    if let Some(path) = json {
+        let backend = batch_backend_label();
+        let wire = cfgs[0].gossip_wire.to_string();
+        let rows: Vec<_> = specs
+            .iter()
+            .zip(&medians)
+            .map(|(&(ranks, alpha), res)| {
+                perf_row(&backend, &format!("ulba-fixed:{alpha}"), ranks, &wire, res, sweep_wall)
+            })
+            .collect();
+        write_schema3_report("fig5", quick_mode(), &[], &rows, path);
+    }
     series
 }
 

@@ -8,6 +8,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod job_server;
 pub mod table2;
 pub mod weak_scaling;
 

@@ -21,7 +21,7 @@
 //! invocation (the CI perf-trajectory artifacts `BENCH_weak_scaling.json`
 //! and `BENCH_p65536.json`).
 
-use crate::output::{json_escape, json_f64, peak_rss_bytes, print_table, write_csv, write_json};
+use crate::output::{peak_rss_bytes, print_table, write_csv, write_schema3_report, PerfRow};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use ulba_core::gossip::{GossipMode, GossipWire};
@@ -71,7 +71,12 @@ pub struct WeakScalingRow {
 /// `P = 4096` stays tractable, with the overloaded-PE *fraction* held
 /// roughly constant across `P` (one strongly erodible rock per 64 PEs) so
 /// the ULBA regime is comparable along the sweep.
-fn config_for(ranks: usize, policy: LbPolicy, wire: GossipWire, smoke: bool) -> ErosionConfig {
+pub(crate) fn config_for(
+    ranks: usize,
+    policy: LbPolicy,
+    wire: GossipWire,
+    smoke: bool,
+) -> ErosionConfig {
     let mut cfg = ErosionConfig::tiny(ranks, (ranks / 64).max(1).min(ranks));
     cfg.policy = policy;
     cfg.gossip_wire = wire;
@@ -240,37 +245,23 @@ fn csv_row(r: &WeakScalingRow) -> Vec<String> {
 /// Schema 3 = schema 2 plus `gossip_wire`, `db_entries_total` and
 /// `peak_rss_bytes` (nullable).
 pub fn write_json_report(rows: &[WeakScalingRow], smoke: bool, path: &Path) -> PathBuf {
-    let mut doc = String::from("{\n");
-    doc.push_str("  \"schema\": 3,\n");
-    doc.push_str("  \"study\": \"weak_scaling\",\n");
-    doc.push_str(&format!("  \"smoke\": {smoke},\n"));
-    doc.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        doc.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"pes\": {}, \"policy\": \"{}\", \
-             \"hub_shards\": {}, \"gossip_wire\": \"{}\", \
-             \"sim_wall_s\": {}, \"makespan_virtual_s\": {}, \"lb_calls\": {}, \
-             \"mean_utilization\": {}, \"busy_max_over_mean\": {}, \
-             \"idle_fraction\": {}, \"db_entries_total\": {}, \
-             \"peak_rss_bytes\": {}}}{}\n",
-            json_escape(&r.backend),
-            r.ranks,
-            json_escape(r.policy),
-            r.hub_shards,
-            json_escape(&r.gossip_wire),
-            json_f64(r.sim_secs),
-            json_f64(r.makespan),
-            r.lb_calls,
-            json_f64(r.mean_utilization),
-            json_f64(r.busy_max_over_mean),
-            json_f64(r.idle_fraction),
-            r.db_entries_total,
-            r.peak_rss_bytes.map_or_else(|| "null".to_string(), |b| b.to_string()),
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    doc.push_str("  ]\n}");
-    let written = write_json(path, &doc);
-    println!("wrote {}", written.display());
-    written
+    let rows: Vec<PerfRow> = rows
+        .iter()
+        .map(|r| PerfRow {
+            backend: r.backend.clone(),
+            pes: r.ranks,
+            policy: r.policy.to_string(),
+            hub_shards: r.hub_shards,
+            gossip_wire: r.gossip_wire.clone(),
+            sim_wall_s: r.sim_secs,
+            makespan_virtual_s: r.makespan,
+            lb_calls: r.lb_calls,
+            mean_utilization: r.mean_utilization,
+            busy_max_over_mean: r.busy_max_over_mean,
+            idle_fraction: r.idle_fraction,
+            db_entries_total: r.db_entries_total,
+            peak_rss_bytes: r.peak_rss_bytes,
+        })
+        .collect();
+    write_schema3_report("weak_scaling", smoke, &[], &rows, path)
 }

@@ -173,6 +173,154 @@ pub fn apply_cli_backend() {
     }
 }
 
+// --- schema-3 perf reports ----------------------------------------------
+
+/// One row of the machine-readable schema-3 perf report every
+/// erosion-driven study emits (`results/BENCH_<study>.json`): identity of
+/// the measurement (backend / P / policy / hub shards / gossip wire), the
+/// real wall-clock cost of simulating it, the virtual-time results, and
+/// the memory story.
+///
+/// Serial studies (weak scaling) record the per-run wall clock in
+/// `sim_wall_s`; batch studies submit their whole sweep to one shared
+/// [`JobServer`](ulba_runtime::JobServer) at once, so per-run attribution
+/// is meaningless and every row carries the wall clock of the whole
+/// batched sweep instead.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Backend label (`threaded` / `sequential` / `parallel` / `default`).
+    pub backend: String,
+    /// PE count.
+    pub pes: usize,
+    /// Policy (or study-arm) label.
+    pub policy: String,
+    /// Resolved leaf shard count of the rendezvous hub.
+    pub hub_shards: usize,
+    /// Gossip wire-format label (`full` / `delta:<N>`).
+    pub gossip_wire: String,
+    /// Real wall-clock seconds spent simulating (see the type docs for
+    /// the serial-vs-batch semantics).
+    pub sim_wall_s: f64,
+    /// Virtual makespan in seconds.
+    pub makespan_virtual_s: f64,
+    /// Number of LB steps performed.
+    pub lb_calls: usize,
+    /// Mean PE utilization over the run.
+    pub mean_utilization: f64,
+    /// Load-imbalance factor λ: max busy time over mean busy time.
+    pub busy_max_over_mean: f64,
+    /// Fraction of total accounted virtual time spent idle.
+    pub idle_fraction: f64,
+    /// Aggregate WIR-database entries resident at run end.
+    pub db_entries_total: u64,
+    /// Process peak RSS in bytes (`VmHWM`; `None` off Linux). Monotone
+    /// over the process lifetime.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Build a [`PerfRow`] from one erosion experiment, deriving the
+/// imbalance statistics from the per-rank metrics.
+pub fn perf_row(
+    backend: &str,
+    policy: &str,
+    pes: usize,
+    gossip_wire: &str,
+    res: &ulba_erosion::ExperimentResult,
+    sim_wall_s: f64,
+) -> PerfRow {
+    let busy: Vec<f64> = res.rank_metrics.iter().map(|m| m.busy).collect();
+    let busy_mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+    let busy_max_over_mean =
+        if busy_mean > 0.0 { busy.iter().copied().fold(0.0f64, f64::max) / busy_mean } else { 1.0 };
+    let total: f64 = res.rank_metrics.iter().map(|m| m.total()).sum();
+    let idle_fraction = if total > 0.0 {
+        res.rank_metrics.iter().map(|m| m.idle).sum::<f64>() / total
+    } else {
+        0.0
+    };
+    PerfRow {
+        backend: backend.to_string(),
+        pes,
+        policy: policy.to_string(),
+        hub_shards: res.hub_shards,
+        gossip_wire: gossip_wire.to_string(),
+        sim_wall_s,
+        makespan_virtual_s: res.makespan,
+        lb_calls: res.lb_calls,
+        mean_utilization: res.mean_utilization,
+        busy_max_over_mean,
+        idle_fraction,
+        db_entries_total: res.db_entries_total,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Backend label the batch API resolves for pool-eligible submissions:
+/// `ULBA_BACKEND` when the environment pins one, the shared parallel pool
+/// otherwise (matching `submit_erosion`'s admission rule).
+pub fn batch_backend_label() -> String {
+    std::env::var("ULBA_BACKEND").ok().unwrap_or_else(|| "parallel".to_string())
+}
+
+/// Serialize rows as a schema-3 perf report and write it to `path`.
+/// `summary` entries are extra top-level key/value pairs (values must be
+/// pre-rendered JSON) inserted between `smoke` and `rows` — the job-server
+/// study records its serial-vs-batched wall clocks there.
+///
+/// Schema 3 = schema 2 plus `gossip_wire`, `db_entries_total` and
+/// `peak_rss_bytes` (nullable).
+pub fn write_schema3_report(
+    study: &str,
+    smoke: bool,
+    summary: &[(&str, String)],
+    rows: &[PerfRow],
+    path: &Path,
+) -> PathBuf {
+    let mut doc = String::from("{\n");
+    doc.push_str("  \"schema\": 3,\n");
+    doc.push_str(&format!("  \"study\": \"{}\",\n", json_escape(study)));
+    doc.push_str(&format!("  \"smoke\": {smoke},\n"));
+    for (key, value) in summary {
+        doc.push_str(&format!("  \"{}\": {value},\n", json_escape(key)));
+    }
+    doc.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"pes\": {}, \"policy\": \"{}\", \
+             \"hub_shards\": {}, \"gossip_wire\": \"{}\", \
+             \"sim_wall_s\": {}, \"makespan_virtual_s\": {}, \"lb_calls\": {}, \
+             \"mean_utilization\": {}, \"busy_max_over_mean\": {}, \
+             \"idle_fraction\": {}, \"db_entries_total\": {}, \
+             \"peak_rss_bytes\": {}}}{}\n",
+            json_escape(&r.backend),
+            r.pes,
+            json_escape(&r.policy),
+            r.hub_shards,
+            json_escape(&r.gossip_wire),
+            json_f64(r.sim_wall_s),
+            json_f64(r.makespan_virtual_s),
+            r.lb_calls,
+            json_f64(r.mean_utilization),
+            json_f64(r.busy_max_over_mean),
+            json_f64(r.idle_fraction),
+            r.db_entries_total,
+            r.peak_rss_bytes.map_or_else(|| "null".to_string(), |b| b.to_string()),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    doc.push_str("  ]\n}");
+    let written = write_json(path, &doc);
+    println!("wrote {}", written.display());
+    written
+}
+
+/// Output path of a study's schema-3 report: `--json <path>` when given,
+/// `results/BENCH_<study>.json` otherwise — every erosion-driven figure
+/// binary emits its report unconditionally.
+pub fn json_report_path(study: &str) -> PathBuf {
+    cli_json_path().unwrap_or_else(|| results_dir().join(format!("BENCH_{study}.json")))
+}
+
 // --- minimal JSON emission ----------------------------------------------
 
 /// Escape a string for a JSON string literal.

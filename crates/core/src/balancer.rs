@@ -108,9 +108,9 @@ mod tests {
     /// Helper: run a single rebalance over a synthetic weighted domain where
     /// each of the 4 ranks starts with 25 uniform-weight items.
     fn rebalance_with_alphas(alphas: [f64; 4]) -> (Partition, ShareDecision) {
-        let out: Mutex<Option<(Partition, ShareDecision)>> = Mutex::new(None);
+        let out = std::sync::Arc::new(Mutex::new(None::<(Partition, ShareDecision)>));
         run(RunConfig::new(4), |mut ctx| {
-            let out = &out;
+            let out = std::sync::Arc::clone(&out);
             async move {
                 let rank = ctx.rank();
                 let my_weights = vec![1u64; 25];
@@ -156,9 +156,9 @@ mod tests {
 
     #[test]
     fn lb_time_is_booked_and_measurable() {
-        let lb_times: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let lb_times = std::sync::Arc::new(Mutex::new(Vec::<f64>::new()));
         let report = run(RunConfig::new(4), |mut ctx| {
-            let lb_times = &lb_times;
+            let lb_times = std::sync::Arc::clone(&lb_times);
             async move {
                 let rank = ctx.rank();
                 // Imbalanced weights: rank 0 owns heavy items.

@@ -103,6 +103,57 @@ impl LbPolicy {
     }
 }
 
+/// Renders the policy as its [`LbPolicy::name`] plus the α parameter:
+/// `standard`, `ulba-fixed:0.4`, `ulba-zscaled:0.8`. The output parses
+/// back with [`std::str::FromStr`] to an equal policy (at the default
+/// z-threshold and detection statistic).
+impl std::fmt::Display for LbPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LbPolicy::Standard => f.write_str("standard"),
+            LbPolicy::Ulba(UlbaConfig { rule: AlphaRule::Fixed(alpha), .. }) => {
+                write!(f, "ulba-fixed:{alpha}")
+            }
+            LbPolicy::Ulba(UlbaConfig { rule: AlphaRule::ZScoreScaled { alpha_max }, .. }) => {
+                write!(f, "ulba-zscaled:{alpha_max}")
+            }
+        }
+    }
+}
+
+/// Parses [`Display`](LbPolicy#impl-Display-for-LbPolicy)'s output plus
+/// the bare shorthands `ulba` / `ulba-fixed` (the paper's α = 0.4) and
+/// `ulba-zscaled` (α_max = 0.4). Unknown names and out-of-range α are
+/// errors, not panics.
+impl std::str::FromStr for LbPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, alpha) = match s.split_once(':') {
+            Some((name, raw)) => {
+                let alpha: f64 =
+                    raw.parse().map_err(|_| format!("bad α {raw:?} in LB policy {s:?}"))?;
+                if !(0.0..=1.0).contains(&alpha) {
+                    return Err(format!("α must be in [0, 1], got {alpha} in {s:?}"));
+                }
+                (name, Some(alpha))
+            }
+            None => (s, None),
+        };
+        match name {
+            "standard" => match alpha {
+                None => Ok(LbPolicy::Standard),
+                Some(_) => Err(format!("the standard policy takes no α: {s:?}")),
+            },
+            "ulba" | "ulba-fixed" => Ok(LbPolicy::ulba_fixed(alpha.unwrap_or(0.4))),
+            "ulba-zscaled" => Ok(LbPolicy::Ulba(UlbaConfig::z_scaled(alpha.unwrap_or(0.4)))),
+            _ => Err(format!(
+                "unknown LB policy {s:?} (expected standard, ulba-fixed[:α] or ulba-zscaled[:α])"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +194,33 @@ mod tests {
     fn names() {
         assert_eq!(LbPolicy::ulba_fixed(0.4).name(), "ulba-fixed");
         assert_eq!(LbPolicy::Ulba(UlbaConfig::z_scaled(0.5)).name(), "ulba-zscaled");
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for policy in [
+            LbPolicy::Standard,
+            LbPolicy::ulba_fixed(0.4),
+            LbPolicy::ulba_fixed(0.25),
+            LbPolicy::Ulba(UlbaConfig::z_scaled(0.8)),
+        ] {
+            let rendered = policy.to_string();
+            let parsed: LbPolicy = rendered.parse().expect("round-trip");
+            assert_eq!(parsed, policy, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_shorthands_and_rejects_junk() {
+        assert_eq!("ulba".parse::<LbPolicy>().unwrap(), LbPolicy::ulba_fixed(0.4));
+        assert_eq!("ulba-fixed".parse::<LbPolicy>().unwrap(), LbPolicy::ulba_fixed(0.4));
+        assert_eq!(
+            "ulba-zscaled".parse::<LbPolicy>().unwrap(),
+            LbPolicy::Ulba(UlbaConfig::z_scaled(0.4))
+        );
+        assert!("standard:0.4".parse::<LbPolicy>().is_err());
+        assert!("ulba-fixed:1.5".parse::<LbPolicy>().is_err());
+        assert!("ulba-fixed:x".parse::<LbPolicy>().is_err());
+        assert!("greedy".parse::<LbPolicy>().is_err());
     }
 }

@@ -15,6 +15,14 @@
 //!    computes its α from its WIR z-score (Algorithm 1), joins the
 //!    centralized rebalancing (Algorithm 2), migrates columns, and the
 //!    measured cost updates the trigger's EWMA LB-cost model.
+//!
+//! Experiments execute through three entry points that share one prepared
+//! rank body: [`run_erosion`] (run one config, blocking),
+//! [`submit_erosion`] (enqueue one config on a shared [`JobServer`] and
+//! join later), and [`run_erosion_batch`] (submit a whole sweep, join in
+//! order). The runtime's determinism guarantee makes all three
+//! bit-identical for the same config — batching is purely a wall-time
+//! optimization.
 
 use crate::config::{ErosionConfig, TriggerKind};
 use crate::erode::erosion_step;
@@ -25,17 +33,23 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
 use ulba_core::balancer::centralized_rebalance;
 use ulba_core::db::{wire_bytes, WirDatabase, WirEntry};
 use ulba_core::gossip::{select_peers, GossipOutbox};
 use ulba_core::outlier::{robust_z_scores, z_from, z_params, z_scores, DetectionStat};
-use ulba_core::partition::predicted_weights;
+use ulba_core::partition::{predicted_weights, Partition};
 use ulba_core::policy::{LbPolicy, UlbaConfig};
 use ulba_core::trigger::{
     LbCostModel, LbTrigger, MenonTrigger, NeverTrigger, PeriodicTrigger, ZhaiTrigger,
 };
 use ulba_core::wir::WirEstimator;
-use ulba_runtime::{run, IterationStats, MachineSpec, RankMetrics, RunConfig, Tag};
+use ulba_runtime::{
+    run, Backend, IterationStats, JobHandle, JobServer, MachineSpec, RankMetrics, RunConfig,
+    RunReport, SpmdCtx, Tag,
+};
 
 /// Message tag of gossip snapshots.
 pub const GOSSIP_TAG: Tag = 0x474F;
@@ -196,25 +210,280 @@ fn estimate_overhead(
     alpha_bar * n_hat as f64 / (p - n_hat) as f64 * wtot_flops / (omega * p as f64)
 }
 
-/// Run one erosion experiment and collect its measurements.
-pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
+/// Out-of-band measurements a run records on its way out: rank 0's final
+/// physics totals and every rank's database-footprint contribution. A side
+/// channel, not a collective: it must not perturb the virtual-time
+/// measurements. Owned per prepared run, so concurrent jobs on a shared
+/// [`JobServer`] can never cross-contaminate each other's accounting.
+#[derive(Default)]
+struct SideChannels {
+    /// `(final total weight, total eroded)`, recorded by rank 0.
+    extras: Mutex<Option<(u64, u64)>>,
+    /// Aggregate memory accounting `(db entries, gossip watermarks)`,
+    /// summed by every rank on its way out.
+    db_footprint: Mutex<(u64, u64)>,
+}
+
+/// One rank's whole program, from initial stripe to final accounting.
+///
+/// Everything captured is owned (`Arc`s and clones): the future is
+/// `'static`, as the runtime requires — a submitted job outlives the stack
+/// frame that prepared it.
+async fn rank_program(
+    mut ctx: SpmdCtx,
+    cfg: Arc<ErosionConfig>,
+    geometry: Arc<Geometry>,
+    strong: Arc<Vec<usize>>,
+    initial_partition: Partition,
+    side: Arc<SideChannels>,
+) {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    // Disc membership is positional (one disc per initial stripe);
+    // rock cells carry no id — see `cell.rs`.
+    let prob_of = |col: usize| {
+        if strong.binary_search(&(col / cfg.cols_per_pe)).is_ok() {
+            cfg.p_strong
+        } else {
+            cfg.p_weak
+        }
+    };
+
+    let mut stripe =
+        Stripe::initial(&geometry, rank * cfg.cols_per_pe..(rank + 1) * cfg.cols_per_pe);
+    // Every rank's stripe equals its range of this partition at all
+    // times (initially by construction, after every LB step by
+    // migration) — so migration routing never needs the per-rank
+    // `O(P)` materialization of everyone's old ranges.
+    let mut prev_partition = initial_partition;
+    let mut wir = WirEstimator::new(cfg.wir_window);
+    let mut db = WirDatabase::new(p);
+    let mut outbox = GossipOutbox::new();
+    // The trigger lives on rank 0 (decisions are broadcast); it is
+    // created at iteration 0 once the first wall time seeds the LB-cost
+    // estimate.
+    let mut trigger: Option<AppTrigger> = None;
+    let mut eroded_total = 0u64;
+    // Per-column weight history for anticipatory partitioning: weights
+    // by global column index as of `history_iter`.
+    let mut history: HashMap<usize, u64> = HashMap::new();
+    let mut history_iter = 0u64;
+    if cfg.anticipatory_partitioning {
+        for (i, w) in stripe.col_weights().into_iter().enumerate() {
+            history.insert(stripe.first_col() + i, w);
+        }
+    }
+
+    for iter in 0..cfg.iterations {
+        let iter_start = ctx.now();
+
+        // (1) Halo exchange + boundary exposure refresh.
+        let halos = exchange_halos(&mut ctx, &stripe).await;
+        stripe.refresh_boundary_exposure(halos.left.as_deref(), halos.right.as_deref());
+
+        // (2) Fluid compute + frontier scan (charged).
+        let workload_flops = stripe.fluid_weight() as f64 * cfg.flop_per_cell;
+        ctx.compute(workload_flops + stripe.exposed_count() as f64 * FRONTIER_FLOP);
+
+        // (3) Erosion dynamics (actual state mutation).
+        let first_col = stripe.first_col();
+        let delta = erosion_step(
+            stripe.cols_mut(),
+            first_col,
+            halos.left.as_deref(),
+            halos.right.as_deref(),
+            cfg.seed,
+            iter,
+            &prob_of,
+        );
+        eroded_total += delta.eroded as u64;
+
+        // (4) WIR measurement + one gossip dissemination step.
+        wir.push(iter, workload_flops);
+        if let Some(rate) = wir.rate() {
+            db.update(WirEntry { rank, wir: rate, iteration: iter });
+        }
+        for peer in select_peers(cfg.gossip, rank, p, iter, cfg.seed) {
+            let payload = outbox.message(&db, peer, iter, cfg.gossip_wire);
+            let payload_bytes = wire_bytes(&payload);
+            ctx.send(peer, GOSSIP_TAG, payload, payload_bytes);
+        }
+
+        // (5) Iteration-end sync: share (elapsed, workload).
+        let elapsed = ctx.now() - iter_start;
+        let stats = ctx.allgather((elapsed, workload_flops), 16).await;
+        let t_iter = stats.iter().map(|s| s.0).fold(0.0f64, f64::max);
+        let wtot_flops: f64 = stats.iter().map(|s| s.1).sum();
+
+        // Drain gossip *after* the rendezvous: every message posted this
+        // iteration is now guaranteed present, so the merged set (and
+        // with it every LB decision) is deterministic.
+        for (_, snap) in ctx.drain::<Vec<WirEntry>>(GOSSIP_TAG) {
+            db.merge(&snap);
+        }
+
+        if rank == 0 && std::env::var_os("ULBA_DEBUG2").is_some() && iter % 8 == 0 {
+            let (argmax, &(tmax, w)) = stats
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+                .expect("non-empty");
+            eprintln!("[it {iter}] max rank {argmax} t={tmax:.4} w={w:.3e}");
+        }
+        // Only the two scalars above survive the allgather: release
+        // the `O(P)` per-rank stats vector *before* the next awaits,
+        // or P concurrent copies of it (`O(P²)` resident — tens of
+        // GB at P = 65536) sit parked across every rendezvous.
+        drop(stats);
+
+        // (6) LB decision on rank 0, broadcast to everyone.
+        let my_flag = if rank == 0 {
+            let trig = trigger.get_or_insert_with(|| {
+                AppTrigger::build(cfg.trigger, cfg.initial_lb_cost_factor * t_iter)
+            });
+            trig.set_overhead_estimate(estimate_overhead(
+                &cfg.policy,
+                &db,
+                wtot_flops,
+                cfg.omega,
+                p,
+            ));
+            Some(trig.observe(iter, t_iter))
+        } else {
+            None
+        };
+        let lb_now = ctx.broadcast(0, my_flag, 1).await;
+        ctx.mark_iteration(iter);
+
+        // (7) The LB step (Algorithms 1–2 + migration).
+        if lb_now && iter + 1 < cfg.iterations {
+            ctx.begin_lb();
+            let lb_started = ctx.now();
+            // Fixed per-call overhead restoring the paper's LB-cost
+            // regime (see ErosionConfig::lb_fixed_cost_factor), plus the
+            // root's cell-granularity repartitioning walk (grows with P).
+            ctx.elapse_lb(cfg.lb_fixed_cost_secs());
+            if rank == 0 {
+                ctx.elapse_lb(cfg.lb_root_walk_secs());
+            }
+            let my_z = my_score(&cfg.policy, &db, rank);
+            let my_alpha = cfg.policy.alpha_for(my_z);
+            // Optionally extrapolate column weights over the expected
+            // next interval (persistence: ≈ the last interval length).
+            let current_weights = stripe.col_weights();
+            let split_weights = if cfg.anticipatory_partitioning {
+                let elapsed_iters = (iter - history_iter).max(1) as f64;
+                let rates: Vec<f64> = current_weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| {
+                        let global = stripe.first_col() + i;
+                        match history.get(&global) {
+                            Some(&old) => (w as f64 - old as f64) / elapsed_iters,
+                            None => 0.0, // migrated in: no history yet
+                        }
+                    })
+                    .collect();
+                predicted_weights(&current_weights, &rates, elapsed_iters)
+            } else {
+                current_weights.clone()
+            };
+            let outcome =
+                centralized_rebalance(&mut ctx, my_alpha, stripe.first_col(), &split_weights).await;
+            let partition = outcome.partition.clone().ensure_nonempty();
+            // The range allgather stays for its virtual cost, but
+            // its payload is redundant — every rank's range *is*
+            // its slot of the cached previous partition — so the
+            // `O(P)` result is dropped instead of being held by
+            // all P ranks across the migration awaits.
+            let _ = ctx.allgather((stripe.first_col(), stripe.len()), 16).await;
+            stripe = migrate(&mut ctx, stripe, &prev_partition, &partition).await;
+            prev_partition = partition.clone();
+            let measured = ctx.now() - lb_started;
+            let cost = ctx.allreduce_max(measured).await;
+            ctx.end_lb();
+            if rank == 0 {
+                if std::env::var_os("ULBA_DEBUG3").is_some() {
+                    let wirs = db.wirs_or(0.0);
+                    let zs = z_scores(&wirs);
+                    let mut top: Vec<(usize, f64, f64)> =
+                        wirs.iter().zip(&zs).enumerate().map(|(r, (&w, &z))| (r, w, z)).collect();
+                    top.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+                    eprintln!("[wir] iter={iter} top: {:?}", &top[..4.min(top.len())]);
+                }
+                if std::env::var_os("ULBA_DEBUG").is_some() {
+                    eprintln!(
+                        "[lb] iter={iter} measured_cost={cost:.4}s alpha_root={my_alpha:.2} \
+                         N={} fallback={} bounds[28..32]={:?}",
+                        outcome.decision.overloading,
+                        outcome.decision.majority_fallback,
+                        &partition.bounds()[28.min(p)..]
+                    );
+                }
+                if let Some(trig) = trigger.as_mut() {
+                    trig.lb_completed(iter, cost);
+                }
+                ctx.mark_lb_event(iter);
+            }
+            // Workload jumped with the migration: restart the local WIR
+            // estimate (the persistence principle applies *between* LB
+            // steps).
+            wir.reset();
+            if cfg.anticipatory_partitioning {
+                history.clear();
+                for (i, w) in stripe.col_weights().into_iter().enumerate() {
+                    history.insert(stripe.first_col() + i, w);
+                }
+                history_iter = iter;
+            }
+        }
+    }
+
+    // Final accounting.
+    let final_weight = ctx.allreduce_sum(stripe.fluid_weight() as f64).await as u64;
+    let eroded = ctx.allreduce_sum(eroded_total as f64).await as u64;
+    if rank == 0 {
+        *side.extras.lock() = Some((final_weight, eroded));
+    }
+    let mut footprint = side.db_footprint.lock();
+    footprint.0 += db.known_count() as u64;
+    footprint.1 += outbox.tracked_peers() as u64;
+}
+
+/// The rank-body shape every execution path shares: boxed, so the prepared
+/// run has a concrete type whether it is handed to [`run`] or to
+/// [`JobServer::submit`]. One heap allocation per rank at spawn — noise
+/// next to a rank's stripe state.
+type ErosionBody = Box<dyn Fn(SpmdCtx) -> Pin<Box<dyn Future<Output = ()> + Send>> + Send + Sync>;
+
+/// A validated experiment, ready to execute: the resolved runtime config,
+/// the rank body, and the side channels the body reports into.
+struct PreparedRun {
+    run_cfg: RunConfig,
+    hub_shards: usize,
+    side: Arc<SideChannels>,
+    body: ErosionBody,
+}
+
+/// Validate `cfg`, build the immutable shared inputs (geometry, strong-rock
+/// set, initial partition) once, and package the rank body.
+fn prepare(cfg: &ErosionConfig) -> PreparedRun {
     cfg.validate().expect("invalid erosion config");
-    let geometry = Geometry::new(cfg.ranks, cfg.cols_per_pe, cfg.height, cfg.rock_radius);
-    let strong = choose_strong_rocks(cfg);
+    let geometry = Arc::new(Geometry::new(cfg.ranks, cfg.cols_per_pe, cfg.height, cfg.rock_radius));
+    let strong = Arc::new(choose_strong_rocks(cfg));
     // The initial (uniform) partition, built once and Arc-shared: every
     // rank's cached "previous partition" clone is a reference bump, never a
     // per-rank `O(P)` bounds copy.
-    let initial_partition = ulba_core::partition::Partition::from_bounds(
-        (0..=cfg.ranks).map(|r| r * cfg.cols_per_pe).collect(),
-        cfg.width(),
-    );
+    let initial_partition =
+        Partition::from_bounds((0..=cfg.ranks).map(|r| r * cfg.cols_per_pe).collect(), cfg.width());
     let spec = MachineSpec::homogeneous(cfg.omega);
-    let extras: Mutex<Option<(u64, u64)>> = Mutex::new(None);
-    // Aggregate memory accounting (entries, watermarks), summed by every
-    // rank on its way out. A side channel, not a collective: it must not
-    // perturb the virtual-time measurements.
-    let db_footprint: Mutex<(u64, u64)> = Mutex::new((0, 0));
+    let side = Arc::new(SideChannels::default());
 
+    let mut cfg = cfg.clone();
+    // The server handle only routes the run; the rank bodies never need it,
+    // and a handle captured inside the job's own futures would keep the
+    // pool alive from within itself.
+    let server = cfg.server.take();
     let mut run_cfg = RunConfig::new(cfg.ranks).with_spec(spec);
     if let Some(backend) = cfg.backend {
         run_cfg = run_cfg.with_backend(backend);
@@ -228,241 +497,33 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
     if let Some(hub_shards) = cfg.hub_shards {
         run_cfg = run_cfg.with_hub_shards(hub_shards);
     }
+    // Applied last: a server target forces the parallel backend.
+    if let Some(server) = server {
+        run_cfg = run_cfg.with_server(server);
+    }
     let hub_shards = run_cfg.effective_hub_shards();
 
-    let report = run(run_cfg, |mut ctx| {
-        let geometry = &geometry;
-        let strong = &strong;
-        let extras = &extras;
-        let db_footprint = &db_footprint;
-        let initial_partition = &initial_partition;
-        async move {
-            let rank = ctx.rank();
-            let p = ctx.size();
-            // Disc membership is positional (one disc per initial stripe);
-            // rock cells carry no id — see `cell.rs`.
-            let prob_of = |col: usize| {
-                if strong.binary_search(&(col / cfg.cols_per_pe)).is_ok() {
-                    cfg.p_strong
-                } else {
-                    cfg.p_weak
-                }
-            };
-
-            let mut stripe =
-                Stripe::initial(geometry, rank * cfg.cols_per_pe..(rank + 1) * cfg.cols_per_pe);
-            // Every rank's stripe equals its range of this partition at all
-            // times (initially by construction, after every LB step by
-            // migration) — so migration routing never needs the per-rank
-            // `O(P)` materialization of everyone's old ranges.
-            let mut prev_partition = initial_partition.clone();
-            let mut wir = WirEstimator::new(cfg.wir_window);
-            let mut db = WirDatabase::new(p);
-            let mut outbox = GossipOutbox::new();
-            // The trigger lives on rank 0 (decisions are broadcast); it is
-            // created at iteration 0 once the first wall time seeds the LB-cost
-            // estimate.
-            let mut trigger: Option<AppTrigger> = None;
-            let mut eroded_total = 0u64;
-            // Per-column weight history for anticipatory partitioning: weights
-            // by global column index as of `history_iter`.
-            let mut history: HashMap<usize, u64> = HashMap::new();
-            let mut history_iter = 0u64;
-            if cfg.anticipatory_partitioning {
-                for (i, w) in stripe.col_weights().into_iter().enumerate() {
-                    history.insert(stripe.first_col() + i, w);
-                }
-            }
-
-            for iter in 0..cfg.iterations {
-                let iter_start = ctx.now();
-
-                // (1) Halo exchange + boundary exposure refresh.
-                let halos = exchange_halos(&mut ctx, &stripe).await;
-                stripe.refresh_boundary_exposure(halos.left.as_deref(), halos.right.as_deref());
-
-                // (2) Fluid compute + frontier scan (charged).
-                let workload_flops = stripe.fluid_weight() as f64 * cfg.flop_per_cell;
-                ctx.compute(workload_flops + stripe.exposed_count() as f64 * FRONTIER_FLOP);
-
-                // (3) Erosion dynamics (actual state mutation).
-                let first_col = stripe.first_col();
-                let delta = erosion_step(
-                    stripe.cols_mut(),
-                    first_col,
-                    halos.left.as_deref(),
-                    halos.right.as_deref(),
-                    cfg.seed,
-                    iter,
-                    &prob_of,
-                );
-                eroded_total += delta.eroded as u64;
-
-                // (4) WIR measurement + one gossip dissemination step.
-                wir.push(iter, workload_flops);
-                if let Some(rate) = wir.rate() {
-                    db.update(WirEntry { rank, wir: rate, iteration: iter });
-                }
-                for peer in select_peers(cfg.gossip, rank, p, iter, cfg.seed) {
-                    let payload = outbox.message(&db, peer, iter, cfg.gossip_wire);
-                    let payload_bytes = wire_bytes(&payload);
-                    ctx.send(peer, GOSSIP_TAG, payload, payload_bytes);
-                }
-
-                // (5) Iteration-end sync: share (elapsed, workload).
-                let elapsed = ctx.now() - iter_start;
-                let stats = ctx.allgather((elapsed, workload_flops), 16).await;
-                let t_iter = stats.iter().map(|s| s.0).fold(0.0f64, f64::max);
-                let wtot_flops: f64 = stats.iter().map(|s| s.1).sum();
-
-                // Drain gossip *after* the rendezvous: every message posted this
-                // iteration is now guaranteed present, so the merged set (and
-                // with it every LB decision) is deterministic.
-                for (_, snap) in ctx.drain::<Vec<WirEntry>>(GOSSIP_TAG) {
-                    db.merge(&snap);
-                }
-
-                if rank == 0 && std::env::var_os("ULBA_DEBUG2").is_some() && iter % 8 == 0 {
-                    let (argmax, &(tmax, w)) = stats
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
-                        .expect("non-empty");
-                    eprintln!("[it {iter}] max rank {argmax} t={tmax:.4} w={w:.3e}");
-                }
-                // Only the two scalars above survive the allgather: release
-                // the `O(P)` per-rank stats vector *before* the next awaits,
-                // or P concurrent copies of it (`O(P²)` resident — tens of
-                // GB at P = 65536) sit parked across every rendezvous.
-                drop(stats);
-
-                // (6) LB decision on rank 0, broadcast to everyone.
-                let my_flag = if rank == 0 {
-                    let trig = trigger.get_or_insert_with(|| {
-                        AppTrigger::build(cfg.trigger, cfg.initial_lb_cost_factor * t_iter)
-                    });
-                    trig.set_overhead_estimate(estimate_overhead(
-                        &cfg.policy,
-                        &db,
-                        wtot_flops,
-                        cfg.omega,
-                        p,
-                    ));
-                    Some(trig.observe(iter, t_iter))
-                } else {
-                    None
-                };
-                let lb_now = ctx.broadcast(0, my_flag, 1).await;
-                ctx.mark_iteration(iter);
-
-                // (7) The LB step (Algorithms 1–2 + migration).
-                if lb_now && iter + 1 < cfg.iterations {
-                    ctx.begin_lb();
-                    let lb_started = ctx.now();
-                    // Fixed per-call overhead restoring the paper's LB-cost
-                    // regime (see ErosionConfig::lb_fixed_cost_factor), plus the
-                    // root's cell-granularity repartitioning walk (grows with P).
-                    ctx.elapse_lb(cfg.lb_fixed_cost_secs());
-                    if rank == 0 {
-                        ctx.elapse_lb(cfg.lb_root_walk_secs());
-                    }
-                    let my_z = my_score(&cfg.policy, &db, rank);
-                    let my_alpha = cfg.policy.alpha_for(my_z);
-                    // Optionally extrapolate column weights over the expected
-                    // next interval (persistence: ≈ the last interval length).
-                    let current_weights = stripe.col_weights();
-                    let split_weights = if cfg.anticipatory_partitioning {
-                        let elapsed_iters = (iter - history_iter).max(1) as f64;
-                        let rates: Vec<f64> = current_weights
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &w)| {
-                                let global = stripe.first_col() + i;
-                                match history.get(&global) {
-                                    Some(&old) => (w as f64 - old as f64) / elapsed_iters,
-                                    None => 0.0, // migrated in: no history yet
-                                }
-                            })
-                            .collect();
-                        predicted_weights(&current_weights, &rates, elapsed_iters)
-                    } else {
-                        current_weights.clone()
-                    };
-                    let outcome = centralized_rebalance(
-                        &mut ctx,
-                        my_alpha,
-                        stripe.first_col(),
-                        &split_weights,
-                    )
-                    .await;
-                    let partition = outcome.partition.clone().ensure_nonempty();
-                    // The range allgather stays for its virtual cost, but
-                    // its payload is redundant — every rank's range *is*
-                    // its slot of the cached previous partition — so the
-                    // `O(P)` result is dropped instead of being held by
-                    // all P ranks across the migration awaits.
-                    let _ = ctx.allgather((stripe.first_col(), stripe.len()), 16).await;
-                    stripe = migrate(&mut ctx, stripe, &prev_partition, &partition).await;
-                    prev_partition = partition.clone();
-                    let measured = ctx.now() - lb_started;
-                    let cost = ctx.allreduce_max(measured).await;
-                    ctx.end_lb();
-                    if rank == 0 {
-                        if std::env::var_os("ULBA_DEBUG3").is_some() {
-                            let wirs = db.wirs_or(0.0);
-                            let zs = z_scores(&wirs);
-                            let mut top: Vec<(usize, f64, f64)> = wirs
-                                .iter()
-                                .zip(&zs)
-                                .enumerate()
-                                .map(|(r, (&w, &z))| (r, w, z))
-                                .collect();
-                            top.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
-                            eprintln!("[wir] iter={iter} top: {:?}", &top[..4.min(top.len())]);
-                        }
-                        if std::env::var_os("ULBA_DEBUG").is_some() {
-                            eprintln!(
-                            "[lb] iter={iter} measured_cost={cost:.4}s alpha_root={my_alpha:.2} \
-                             N={} fallback={} bounds[28..32]={:?}",
-                            outcome.decision.overloading,
-                            outcome.decision.majority_fallback,
-                            &partition.bounds()[28.min(p)..]
-                        );
-                        }
-                        if let Some(trig) = trigger.as_mut() {
-                            trig.lb_completed(iter, cost);
-                        }
-                        ctx.mark_lb_event(iter);
-                    }
-                    // Workload jumped with the migration: restart the local WIR
-                    // estimate (the persistence principle applies *between* LB
-                    // steps).
-                    wir.reset();
-                    if cfg.anticipatory_partitioning {
-                        history.clear();
-                        for (i, w) in stripe.col_weights().into_iter().enumerate() {
-                            history.insert(stripe.first_col() + i, w);
-                        }
-                        history_iter = iter;
-                    }
-                }
-            }
-
-            // Final accounting.
-            let final_weight = ctx.allreduce_sum(stripe.fluid_weight() as f64).await as u64;
-            let eroded = ctx.allreduce_sum(eroded_total as f64).await as u64;
-            if rank == 0 {
-                *extras.lock() = Some((final_weight, eroded));
-            }
-            let mut footprint = db_footprint.lock();
-            footprint.0 += db.known_count() as u64;
-            footprint.1 += outbox.tracked_peers() as u64;
-        }
+    let cfg = Arc::new(cfg);
+    let side_tx = Arc::clone(&side);
+    let body: ErosionBody = Box::new(move |ctx| {
+        Box::pin(rank_program(
+            ctx,
+            Arc::clone(&cfg),
+            Arc::clone(&geometry),
+            Arc::clone(&strong),
+            initial_partition.clone(),
+            Arc::clone(&side_tx),
+        ))
     });
+    PreparedRun { run_cfg, hub_shards, side, body }
+}
 
+/// Combine the runtime's report with the run's side channels into the
+/// final measurements.
+fn assemble(report: RunReport, side: &SideChannels, hub_shards: usize) -> ExperimentResult {
     let (final_total_weight, total_eroded) =
-        extras.into_inner().expect("rank 0 recorded the extras");
-    let (db_entries_total, gossip_watermarks_total) = db_footprint.into_inner();
+        side.extras.lock().take().expect("rank 0 recorded the extras");
+    let (db_entries_total, gossip_watermarks_total) = *side.db_footprint.lock();
     ExperimentResult {
         makespan: report.makespan().as_secs(),
         lb_calls: report.lb_call_count(),
@@ -478,19 +539,140 @@ pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
     }
 }
 
+/// Run one erosion experiment and collect its measurements.
+pub fn run_erosion(cfg: &ErosionConfig) -> ExperimentResult {
+    let prepared = prepare(cfg);
+    let report = run(prepared.run_cfg, prepared.body);
+    assemble(report, &prepared.side, prepared.hub_shards)
+}
+
+/// A submitted (or deferred) erosion experiment; see [`submit_erosion`].
+pub struct ErosionJob {
+    inner: ErosionJobInner,
+}
+
+enum ErosionJobInner {
+    /// Running concurrently on a shared [`JobServer`].
+    Submitted { handle: JobHandle, side: Arc<SideChannels>, hub_shards: usize },
+    /// The config resolves to a non-parallel backend (explicitly or via
+    /// `ULBA_BACKEND`): the run executes with that backend's semantics,
+    /// serially, inside [`ErosionJob::join`].
+    Deferred(Box<ErosionConfig>),
+}
+
+impl std::fmt::Debug for ErosionJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            ErosionJobInner::Submitted { handle, .. } => {
+                f.debug_struct("ErosionJob").field("job", &handle.id()).finish()
+            }
+            ErosionJobInner::Deferred(_) => {
+                f.debug_struct("ErosionJob").field("job", &"deferred").finish()
+            }
+        }
+    }
+}
+
+impl ErosionJob {
+    /// The runtime job id when the experiment runs on a server (`None` for
+    /// deferred serial runs).
+    pub fn id(&self) -> Option<u64> {
+        match &self.inner {
+            ErosionJobInner::Submitted { handle, .. } => Some(handle.id()),
+            ErosionJobInner::Deferred(_) => None,
+        }
+    }
+
+    /// Block until the experiment finishes and collect its measurements.
+    /// Same failure contract as [`run_erosion`]: panics if the job
+    /// deadlocked or a rank panicked.
+    pub fn join(self) -> ExperimentResult {
+        match self.inner {
+            ErosionJobInner::Submitted { handle, side, hub_shards } => {
+                let report = handle.join().unwrap_or_else(|err| panic!("{err}"));
+                assemble(report, &side, hub_shards)
+            }
+            ErosionJobInner::Deferred(cfg) => run_erosion(&cfg),
+        }
+    }
+}
+
+/// Submit one experiment to `server` without waiting for it.
+///
+/// When the config resolves to a non-parallel backend — an explicit
+/// [`ErosionConfig::backend`], or `ULBA_BACKEND` when the config leaves the
+/// backend `None` — the run is deferred instead: it executes serially with
+/// the requested backend's semantics when the returned job is joined, so a
+/// `ULBA_BACKEND=sequential` CI leg still exercises the sequential
+/// scheduler even through the batch API. Either way the measurements are
+/// bit-identical; only wall time and concurrency differ.
+pub fn submit_erosion(server: &JobServer, cfg: &ErosionConfig) -> ErosionJob {
+    // The parallel sentinel survives `from_env` only if `ULBA_BACKEND` is
+    // unset — exactly the cases in which pooling preserves semantics.
+    let effective = cfg.backend.unwrap_or_else(|| {
+        RunConfig::defaults(1).with_backend(Backend::Parallel).from_env().backend
+    });
+    if effective != Backend::Parallel {
+        // Drop the server handle: a deferred run must honour the requested
+        // backend, and `prepare` would otherwise re-route it to the pool.
+        let mut cfg = cfg.clone();
+        cfg.server = None;
+        return ErosionJob { inner: ErosionJobInner::Deferred(Box::new(cfg)) };
+    }
+    let mut cfg = cfg.clone();
+    cfg.backend = Some(Backend::Parallel);
+    cfg.server = Some(server.clone());
+    let prepared = prepare(&cfg);
+    let handle = server.submit(prepared.run_cfg, prepared.body);
+    ErosionJob {
+        inner: ErosionJobInner::Submitted {
+            handle,
+            side: prepared.side,
+            hub_shards: prepared.hub_shards,
+        },
+    }
+}
+
+/// Run a whole sweep concurrently on a shared pool and return the results
+/// in input order.
+///
+/// Each config routes to its own [`ErosionConfig::server`] when set, else
+/// to the process-global [`JobServer::global`] pool. The runtime's
+/// determinism guarantee makes every result bit-identical to a serial
+/// [`run_erosion`] of the same config — batching only buys wall time.
+pub fn run_erosion_batch(cfgs: &[ErosionConfig]) -> Vec<ExperimentResult> {
+    let jobs: Vec<ErosionJob> = cfgs
+        .iter()
+        .map(|cfg| match &cfg.server {
+            Some(server) => submit_erosion(server, cfg),
+            None => submit_erosion(JobServer::global(), cfg),
+        })
+        .collect();
+    jobs.into_iter().map(ErosionJob::join).collect()
+}
+
 /// Run the same configuration under several seeds and return the median
 /// makespan result (the paper compares "the median running time among five
-/// runs").
+/// runs"). The seeds run concurrently through [`run_erosion_batch`].
 pub fn run_erosion_median(cfg: &ErosionConfig, seeds: &[u64]) -> ExperimentResult {
     assert!(!seeds.is_empty());
-    let mut results: Vec<ExperimentResult> = seeds
+    let cfgs: Vec<ErosionConfig> = seeds
         .iter()
         .map(|&s| {
             let mut c = cfg.clone();
             c.seed = s;
-            run_erosion(&c)
+            c
         })
         .collect();
+    median_result(run_erosion_batch(&cfgs))
+}
+
+/// Median-by-makespan reduction of a batch of results (upper median for
+/// even counts) — the reduction step of [`run_erosion_median`], exposed so
+/// batch clients that submit a whole sweep at once can reduce per-seed
+/// chunks themselves.
+pub fn median_result(mut results: Vec<ExperimentResult>) -> ExperimentResult {
+    assert!(!results.is_empty());
     results.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).expect("finite"));
     results.swap_remove(results.len() / 2)
 }
@@ -663,5 +845,41 @@ mod tests {
         cfg.iterations = 20;
         let res = run_erosion_median(&cfg, &[1, 2, 3]);
         assert!(res.makespan > 0.0);
+    }
+
+    #[test]
+    fn submitted_jobs_match_serial_runs() {
+        // One shared pool, several concurrent experiments: every result
+        // must be bit-identical to the serial run of the same config.
+        let server = JobServer::new(2);
+        let cfgs: Vec<ErosionConfig> = (0..4)
+            .map(|i| {
+                let mut c = ErosionConfig::tiny(4, 1);
+                c.iterations = 30;
+                c.seed = 0xA5A5 + i;
+                c
+            })
+            .collect();
+        let jobs: Vec<ErosionJob> = cfgs.iter().map(|c| submit_erosion(&server, c)).collect();
+        for (job, cfg) in jobs.into_iter().zip(&cfgs) {
+            let batched = job.join();
+            let serial = run_erosion(cfg);
+            assert_eq!(batched.makespan.to_bits(), serial.makespan.to_bits());
+            assert_eq!(batched.lb_iterations, serial.lb_iterations);
+            assert_eq!(batched.total_eroded, serial.total_eroded);
+            assert_eq!(batched.final_total_weight, serial.final_total_weight);
+        }
+    }
+
+    #[test]
+    fn explicit_backend_defers_instead_of_pooling() {
+        let server = JobServer::new(1);
+        let mut cfg = ErosionConfig::tiny(2, 1);
+        cfg.iterations = 10;
+        cfg.backend = Some(Backend::Sequential);
+        let job = submit_erosion(&server, &cfg);
+        assert_eq!(job.id(), None, "sequential runs must not be pooled");
+        let res = job.join();
+        assert_eq!(run_erosion(&cfg).makespan.to_bits(), res.makespan.to_bits());
     }
 }

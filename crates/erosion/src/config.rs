@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use ulba_core::gossip::{GossipMode, GossipWire};
 use ulba_core::policy::LbPolicy;
-use ulba_runtime::Backend;
+use ulba_runtime::{Backend, JobServer};
 
 /// Which adaptive trigger drives LB activation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,6 +111,12 @@ pub struct ErosionConfig {
     /// variable, falling back to `min(effective workers, 64)`). Purely a
     /// contention knob — results are bit-identical for any value.
     pub hub_shards: Option<usize>,
+    /// Submit the run to this existing [`JobServer`] instead of standing up
+    /// (or routing to) a pool of its own. Setting a server forces the
+    /// parallel backend. Not serialized — a server is a live handle, not a
+    /// parameter; deserialized configs always start with `None`.
+    #[serde(skip)]
+    pub server: Option<JobServer>,
 }
 
 impl ErosionConfig {
@@ -145,7 +151,16 @@ impl ErosionConfig {
             stack_size: None,
             workers: None,
             hub_shards: None,
+            server: None,
         }
+    }
+
+    /// Route this experiment to an existing shared [`JobServer`] (implies
+    /// the parallel backend). Figure harnesses use this to run whole sweeps
+    /// concurrently on one pool; see [`crate::app::run_erosion_batch`].
+    pub fn with_server(mut self, server: JobServer) -> Self {
+        self.server = Some(server);
+        self
     }
 
     /// Quarter-linear-scale domain used by the figure harnesses:

@@ -36,7 +36,10 @@ pub mod geometry;
 pub mod snapshot;
 pub mod stripe;
 
-pub use app::{choose_strong_rocks, run_erosion, run_erosion_median, ExperimentResult};
+pub use app::{
+    choose_strong_rocks, median_result, run_erosion, run_erosion_batch, run_erosion_median,
+    submit_erosion, ErosionJob, ExperimentResult,
+};
 pub use cell::Cell;
 pub use column::Column;
 pub use config::{ErosionConfig, TriggerKind};

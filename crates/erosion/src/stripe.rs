@@ -268,10 +268,11 @@ mod tests {
 
     #[test]
     fn halo_exchange_delivers_boundary_cells() {
-        let g = geometry(4);
+        let g = std::sync::Arc::new(geometry(4));
         run(RunConfig::new(4), |mut ctx| {
-            let g = &g;
+            let g = std::sync::Arc::clone(&g);
             async move {
+                let g = &*g;
                 let rank = ctx.rank();
                 let stripe = Stripe::initial(g, rank * 32..(rank + 1) * 32);
                 let halos = exchange_halos(&mut ctx, &stripe).await;
@@ -291,12 +292,13 @@ mod tests {
 
     #[test]
     fn migration_moves_columns_correctly() {
-        let g = geometry(4);
-        let final_weights: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+        let g = std::sync::Arc::new(geometry(4));
+        let final_weights = std::sync::Arc::new(Mutex::new(Vec::<(usize, u64)>::new()));
         run(RunConfig::new(4), |mut ctx| {
-            let g = &g;
-            let final_weights = &final_weights;
+            let g = std::sync::Arc::clone(&g);
+            let final_weights = std::sync::Arc::clone(&final_weights);
             async move {
+                let g = &*g;
                 let rank = ctx.rank();
                 let stripe = Stripe::initial(g, rank * 32..(rank + 1) * 32);
                 let old = Partition::from_bounds(vec![0, 32, 64, 96, 128], 128);
@@ -322,10 +324,11 @@ mod tests {
 
     #[test]
     fn identity_migration_is_noop() {
-        let g = geometry(2);
+        let g = std::sync::Arc::new(geometry(2));
         run(RunConfig::new(2), |mut ctx| {
-            let g = &g;
+            let g = std::sync::Arc::clone(&g);
             async move {
+                let g = &*g;
                 let rank = ctx.rank();
                 let stripe = Stripe::initial(g, rank * 32..(rank + 1) * 32);
                 let before = stripe.clone();

@@ -89,6 +89,14 @@ impl SpmdCtx {
         self.size
     }
 
+    /// Process-unique id of the run this rank belongs to (starts at 1) —
+    /// the same id tagged onto [`crate::RunError::Deadlock`] and hub
+    /// diagnostics, so ranks of concurrent jobs on a shared
+    /// [`crate::JobServer`] can label their output.
+    pub fn job(&self) -> u64 {
+        self.shared.job_id()
+    }
+
     /// Current virtual time of this rank.
     pub fn now(&self) -> VirtualTime {
         self.clock

@@ -11,20 +11,24 @@
 //!   polls every rank's program slice-by-slice between synchronization
 //!   points. No OS threads, no blocking; scales to tens of thousands of
 //!   ranks with **identical** [`RunReport`] output.
-//! * [`Backend::Parallel`] — a work-stealing pool of `M` worker threads
-//!   ([`RunConfig::workers`], default: all cores) driving all `N` rank
-//!   futures; blocked ranks park wakers in the hub/mailbox and are
-//!   re-queued on wake-up. Sequential's scale *and* threaded's
-//!   parallelism.
+//! * [`Backend::Parallel`] — submit the run as a job to a work-stealing
+//!   [`JobServer`]: the one targeted by [`RunConfig::with_server`], the
+//!   process-wide default ([`JobServer::global`]) when no worker count is
+//!   forced, or a transient private pool when one is. Blocked ranks park
+//!   wakers in their job's hub/mailbox and are re-queued on wake-up.
+//!   Sequential's scale *and* threaded's parallelism — and one shared pool
+//!   can drive many concurrent jobs.
 //!
 //! All backends drive the same [`crate::ctx::SpmdCtx`] accounting and the
 //! same [`crate::hub::Hub`]/[`crate::mailbox::MailboxSet`] state machines;
 //! only the waiting strategy differs (block vs. suspend), so a program's
-//! virtual-time behaviour is bit-identical across backends.
+//! virtual-time behaviour is bit-identical across backends — and, on the
+//! job server, independent of which other jobs share the pool.
 
 use crate::cost::MachineSpec;
 use crate::ctx::SpmdCtx;
 use crate::exec;
+use crate::exec::server::{JobServer, Priority};
 use crate::hub::Hub;
 use crate::mailbox::MailboxSet;
 use crate::metrics::{Collector, IterationStats, RankMetrics};
@@ -47,10 +51,12 @@ pub enum Backend {
     /// Best for large `P` (no thread-count limits) and for deterministic
     /// debugging.
     Sequential,
-    /// Work-stealing pool of [`RunConfig::workers`] threads driving all
-    /// rank futures; blocked ranks are woken by the deposit/post that
-    /// unblocks them. Best when rank bodies do real CPU work *and* `P` is
-    /// large: all cores stay busy without one thread per rank.
+    /// Submit the run as a job to a work-stealing [`JobServer`] (the
+    /// explicitly targeted one, the process-wide default, or a transient
+    /// private pool — see [`RunConfig::with_server`]); blocked ranks are
+    /// woken by the deposit/post that unblocks them. Best when rank bodies
+    /// do real CPU work *and* `P` is large: all cores stay busy without
+    /// one thread per rank, and many runs can share one pool.
     Parallel,
 }
 
@@ -59,22 +65,29 @@ impl Backend {
     /// `sequential` or `parallel`, mirroring the `ULBA_QUICK` convention).
     /// Returns `None` when unset; unknown values warn once per process and
     /// are ignored.
+    #[deprecated(note = "use `RunConfig::from_env`, which folds `ULBA_BACKEND`, \
+                         `ULBA_WORKERS` and `ULBA_HUB_SHARDS` in one place")]
     pub fn from_env() -> Option<Backend> {
-        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
         let raw = std::env::var("ULBA_BACKEND").ok()?;
         match raw.parse() {
             Ok(backend) => Some(backend),
             Err(()) => {
-                WARN_ONCE.call_once(|| {
-                    eprintln!(
-                        "ulba-runtime: ignoring unknown ULBA_BACKEND value `{raw}` \
-                         (expected `threaded`, `sequential` or `parallel`)"
-                    );
-                });
+                warn_unknown_backend(&raw);
                 None
             }
         }
     }
+}
+
+/// Warn once per process about an unparsable `ULBA_BACKEND` value.
+fn warn_unknown_backend(raw: &str) {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    WARN_ONCE.call_once(|| {
+        eprintln!(
+            "ulba-runtime: ignoring unknown ULBA_BACKEND value `{raw}` \
+             (expected `threaded`, `sequential` or `parallel`)"
+        );
+    });
 }
 
 impl std::str::FromStr for Backend {
@@ -128,23 +141,67 @@ pub struct RunConfig {
     /// single shard. Defaults to the `ULBA_HUB_SHARDS` environment
     /// variable. Reports are bit-identical for **any** shard count.
     pub hub_shards: usize,
+    /// Existing [`JobServer`] to submit to when the backend is
+    /// [`Backend::Parallel`]; `None` (the default) uses the process-wide
+    /// default server ([`JobServer::global`]), or a transient private pool
+    /// when [`RunConfig::workers`] is forced nonzero.
+    pub server: Option<JobServer>,
+    /// Admission priority of the job on its server (parallel backend
+    /// only). Defaults to [`Priority::Normal`].
+    pub priority: Priority,
 }
 
 impl RunConfig {
-    /// A run with `ranks` ranks on the default machine.
+    /// A run with `ranks` ranks on the default machine, honouring the
+    /// `ULBA_*` environment variables — shorthand for
+    /// [`RunConfig::defaults`]`(ranks).`[`from_env`](RunConfig::from_env)`()`.
     pub fn new(ranks: usize) -> Self {
+        Self::defaults(ranks).from_env()
+    }
+
+    /// A run with `ranks` ranks on the default machine, ignoring the
+    /// environment: threaded backend, automatic workers and hub shards.
+    pub fn defaults(ranks: usize) -> Self {
         Self {
             ranks,
             spec: MachineSpec::default(),
             stack_size: 2 * 1024 * 1024,
             tracer: None,
-            backend: Backend::from_env().unwrap_or(Backend::Threaded),
-            workers: std::env::var("ULBA_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0),
-            hub_shards: std::env::var("ULBA_HUB_SHARDS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0),
+            backend: Backend::Threaded,
+            workers: 0,
+            hub_shards: 0,
+            server: None,
+            priority: Priority::Normal,
         }
+    }
+
+    /// Overlay the `ULBA_*` environment onto this configuration — the one
+    /// place the engine parses runtime env vars, so binaries and tests
+    /// don't re-implement the precedence themselves:
+    ///
+    /// * `ULBA_BACKEND` → [`RunConfig::backend`] (`threaded`,
+    ///   `sequential`, `parallel`; unknown values warn once and are
+    ///   ignored),
+    /// * `ULBA_WORKERS` → [`RunConfig::workers`],
+    /// * `ULBA_HUB_SHARDS` → [`RunConfig::hub_shards`].
+    ///
+    /// Unset (or unparsable) variables leave the corresponding field
+    /// untouched, so explicit `with_*` calls made *after* this step win,
+    /// while the environment overrides the plain defaults.
+    pub fn from_env(mut self) -> Self {
+        if let Ok(raw) = std::env::var("ULBA_BACKEND") {
+            match raw.parse() {
+                Ok(backend) => self.backend = backend,
+                Err(()) => warn_unknown_backend(&raw),
+            }
+        }
+        if let Some(workers) = env_usize("ULBA_WORKERS") {
+            self.workers = workers;
+        }
+        if let Some(shards) = env_usize("ULBA_HUB_SHARDS") {
+            self.hub_shards = shards;
+        }
+        self
     }
 
     /// Override the machine model.
@@ -187,6 +244,22 @@ impl RunConfig {
         self
     }
 
+    /// Submit this run to an existing [`JobServer`] instead of the default
+    /// global one. Implies [`Backend::Parallel`] (the other backends don't
+    /// use a pool).
+    pub fn with_server(mut self, server: JobServer) -> Self {
+        self.server = Some(server);
+        self.backend = Backend::Parallel;
+        self
+    }
+
+    /// Set the job's admission priority on its server (parallel backend
+    /// only; see [`Priority`]).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
     /// The hub shard count this configuration resolves to: the explicit
     /// [`RunConfig::hub_shards`] if nonzero, otherwise
     /// `min(effective workers, 64)` — one shard per worker of the parallel
@@ -196,13 +269,16 @@ impl RunConfig {
     pub fn effective_hub_shards(&self) -> usize {
         let auto = || match self.backend {
             Backend::Sequential => 1,
-            Backend::Threaded | Backend::Parallel => {
-                exec::parallel::effective_workers(self).min(64)
-            }
+            Backend::Threaded | Backend::Parallel => exec::server::effective_workers(self).min(64),
         };
         let shards = if self.hub_shards > 0 { self.hub_shards } else { auto() };
         shards.clamp(1, self.ranks.max(1))
     }
+}
+
+/// Parse a `usize` environment variable; `None` when unset or unparsable.
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
 }
 
 /// A structured run failure (instead of a panic deep inside the engine).
@@ -226,6 +302,10 @@ pub enum RunError {
     /// threaded backend hangs in this situation, like a real MPI job.
     /// [`try_run`] surfaces this error; [`run`] panics on it.
     Deadlock {
+        /// Id of the deadlocked job (process-unique, starts at 1). On a
+        /// shared [`JobServer`] many jobs are in flight at once; the id
+        /// pins the diagnostic to the one that hung.
+        job: u64,
         /// The permanently blocked ranks, in rank order.
         blocked: Vec<usize>,
         /// Total ranks in the run.
@@ -244,10 +324,10 @@ impl std::fmt::Display for RunError {
             RunError::ThreadSpawn { rank, ranks, source } => {
                 write!(f, "failed to spawn the thread of rank {rank} (of {ranks}): {source}")
             }
-            RunError::Deadlock { blocked, ranks, shards } => {
+            RunError::Deadlock { job, blocked, ranks, shards } => {
                 write!(
                     f,
-                    "deadlock: {} of {ranks} ranks are permanently blocked \
+                    "deadlock in job #{job}: {} of {ranks} ranks are permanently blocked \
                      (collective ordering bug, or a recv with no matching send); \
                      blocked ranks {:?}{} in hub shard{} {:?}{}",
                     blocked.len(),
@@ -316,22 +396,36 @@ pub(crate) struct RunShared {
     pub(crate) mail: MailboxSet,
     pub(crate) collector: Collector,
     pub(crate) spec: MachineSpec,
+    /// Process-unique id of this run/job (starts at 1); tags deadlock
+    /// errors and hub diagnostics so concurrent jobs on a shared
+    /// [`JobServer`] stay distinguishable.
+    job: u64,
     finals: Vec<Mutex<Option<(VirtualTime, RankMetrics)>>>,
     /// Bumped on every deposit/post/receive so the sequential scheduler can
     /// distinguish "still converging" from "deadlocked".
     progress: AtomicU64,
 }
 
+/// Source of [`RunShared::job_id`]s: every run of any backend draws one.
+static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(1);
+
 impl RunShared {
     pub(crate) fn new(config: &RunConfig) -> Arc<Self> {
+        let job = NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed);
         Arc::new(Self {
-            hub: Hub::with_shards(config.ranks, config.effective_hub_shards()),
+            hub: Hub::for_job(job, config.ranks, config.effective_hub_shards()),
             mail: MailboxSet::new(config.ranks),
             collector: Collector::new(config.ranks),
             spec: config.spec.clone(),
+            job,
             finals: (0..config.ranks).map(|_| Mutex::new(None)).collect(),
             progress: AtomicU64::new(0),
         })
+    }
+
+    /// The process-unique id of this run (see [`RunError::Deadlock::job`]).
+    pub(crate) fn job_id(&self) -> u64 {
+        self.job
     }
 
     pub(crate) fn note_progress(&self) {
@@ -353,10 +447,10 @@ impl RunShared {
         // `shard_of` is monotone in rank and `blocked` is rank-ordered, so
         // adjacent dedup yields the sorted distinct shard set.
         shards.dedup();
-        RunError::Deadlock { blocked, ranks: self.hub.size(), shards }
+        RunError::Deadlock { job: self.job, blocked, ranks: self.hub.size(), shards }
     }
 
-    fn build_report(&self) -> RunReport {
+    pub(crate) fn build_report(&self) -> RunReport {
         let (final_clocks, rank_metrics) = self
             .finals
             .iter()
@@ -378,20 +472,24 @@ impl RunShared {
 /// other ranks (`recv`, `barrier`, collectives) are `async` and suspend at
 /// the synchronization point, which is what lets the cooperative backends
 /// interleave thousands of ranks over few threads (rank futures migrate
-/// between the parallel backend's workers, hence the `Send` bound).
+/// between a job server's workers, hence the `Send + 'static` bounds — a
+/// rank program owns its data).
 ///
-/// Panics in any rank propagate after the run is wound down (on the
-/// threaded backend, the panic payload of the lowest-ranked failing thread
-/// is resumed). If the threaded backend cannot spawn its rank threads (OS
-/// thread limits at large `P`), the run transparently falls back to the
-/// sequential backend — use [`try_run`] to observe the failure instead. A
-/// deadlocked program (detected by the sequential and parallel backends)
-/// panics with the blocked ranks; use [`try_run`] to observe it as a
-/// [`RunError::Deadlock`] instead.
+/// # Failure contract
+///
+/// Panics in any rank propagate after the run is wound down (the panic
+/// payload of the lowest-ranked failing rank is resumed). If the threaded
+/// backend cannot spawn its rank threads (OS thread limits at large `P`),
+/// the run transparently falls back to the sequential backend. A
+/// deadlocked program — detected exactly by the sequential and parallel
+/// backends; the threaded backend hangs like a real MPI job — **panics**
+/// with the full [`RunError::Deadlock`] diagnostic: the job id, the
+/// blocked ranks, and the hub shards holding them. Use [`try_run`] to
+/// observe either failure as a structured [`RunError`] instead.
 pub fn run<F, Fut>(config: RunConfig, body: F) -> RunReport
 where
     F: Fn(SpmdCtx) -> Fut + Sync,
-    Fut: Future<Output = ()> + Send,
+    Fut: Future<Output = ()> + Send + 'static,
 {
     match config.backend {
         Backend::Threaded => {
@@ -400,22 +498,32 @@ where
                 Ok(()) => shared.build_report(),
                 Err(err) => {
                     eprintln!("ulba-runtime: {err}; falling back to the sequential backend");
-                    run_cooperative(&config, Backend::Sequential, &body)
-                        .unwrap_or_else(|err| panic!("{err}"))
+                    run_sequential(&config, &body).unwrap_or_else(|err| panic!("{err}"))
                 }
             }
         }
-        backend => run_cooperative(&config, backend, &body).unwrap_or_else(|err| panic!("{err}")),
+        Backend::Sequential => run_sequential(&config, &body).unwrap_or_else(|err| panic!("{err}")),
+        Backend::Parallel => {
+            exec::server::execute(&config, &body).unwrap_or_else(|err| panic!("{err}"))
+        }
     }
 }
 
-/// Like [`run`], but reports backend failures — thread-spawn exhaustion on
-/// the threaded backend, deadlock on the sequential/parallel backends — as
-/// a structured [`RunError`] instead of falling back or panicking.
+/// Like [`run`], but reports backend failures as a structured [`RunError`]
+/// instead of falling back or panicking:
+///
+/// * thread-spawn exhaustion on the threaded backend →
+///   [`RunError::ThreadSpawn`] (no sequential fallback is attempted);
+/// * deadlock on the sequential/parallel backends →
+///   [`RunError::Deadlock`], tagged with the job id and the hub shards of
+///   the blocked ranks.
+///
+/// Rank panics are **not** converted: they resume on the calling thread,
+/// exactly as under [`run`].
 pub fn try_run<F, Fut>(config: RunConfig, body: F) -> Result<RunReport, RunError>
 where
     F: Fn(SpmdCtx) -> Fut + Sync,
-    Fut: Future<Output = ()> + Send,
+    Fut: Future<Output = ()> + Send + 'static,
 {
     match config.backend {
         Backend::Threaded => {
@@ -423,27 +531,19 @@ where
             exec::threaded::execute(&shared, &config, &body)?;
             Ok(shared.build_report())
         }
-        backend => run_cooperative(&config, backend, &body),
+        Backend::Sequential => run_sequential(&config, &body),
+        Backend::Parallel => exec::server::execute(&config, &body),
     }
 }
 
-/// Run on one of the suspend-at-sync-points backends; both share the
-/// deadlock-reporting path.
-fn run_cooperative<F, Fut>(
-    config: &RunConfig,
-    backend: Backend,
-    body: &F,
-) -> Result<RunReport, RunError>
+/// Drive a run on the single-threaded lockstep scheduler.
+fn run_sequential<F, Fut>(config: &RunConfig, body: &F) -> Result<RunReport, RunError>
 where
-    F: Fn(SpmdCtx) -> Fut + Sync,
-    Fut: Future<Output = ()> + Send,
+    F: Fn(SpmdCtx) -> Fut,
+    Fut: Future<Output = ()>,
 {
     assert!(config.ranks >= 1, "need at least one rank");
     let shared = RunShared::new(config);
-    match backend {
-        Backend::Sequential => exec::sequential::execute(&shared, config, body)?,
-        Backend::Parallel => exec::parallel::execute(&shared, config, body)?,
-        Backend::Threaded => unreachable!("threaded is not a cooperative backend"),
-    }
+    exec::sequential::execute(&shared, config, body)?;
     Ok(shared.build_report())
 }

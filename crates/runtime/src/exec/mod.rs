@@ -12,10 +12,11 @@
 //!   operations return [`std::task::Poll::Pending`] at synchronization
 //!   points and the scheduler round-robins all ranks until everyone
 //!   finishes.
-//! * [`parallel`] — a work-stealing pool of `M` worker threads driving all
-//!   `N` rank futures; blocked ranks park their wakers in the hub/mailbox
-//!   and are re-queued by the deposit/post that unblocks them.
+//! * [`server`] — a long-lived work-stealing pool ([`server::JobServer`])
+//!   that admits many concurrent jobs; blocked ranks park their wakers in
+//!   their job's hub/mailbox and are re-queued by the deposit/post that
+//!   unblocks them. `Backend::Parallel` runs submit to a server.
 
-pub(crate) mod parallel;
 pub(crate) mod sequential;
+pub(crate) mod server;
 pub(crate) mod threaded;

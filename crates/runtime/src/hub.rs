@@ -36,13 +36,19 @@
 //! the state transition that unblocks it — the round completing on the
 //! last deposit, or entry reopening on the last drain — wakes every parked
 //! waker of every shard (batched shard-by-shard through
-//! [`crate::exec::parallel::wake_batched`], so the parallel backend moves a
+//! [`crate::exec::server::wake_batched`], so the job server moves a
 //! whole shard's worth of ranks onto a run queue under one lock), which is
 //! what lets the parallel backend sleep blocked ranks instead of spinning
 //! them (the sequential scheduler passes a no-op waker and keeps
 //! round-robining).
+//!
+//! A hub belongs to exactly one run (its *job*): [`Hub::for_job`] stamps
+//! the job id into every collective-mismatch diagnostic, so when many jobs
+//! share one [`crate::exec::server::JobServer`] a panic names which job
+//! misbehaved. The standalone constructors ([`Hub::new`],
+//! [`Hub::with_shards`]) use job id 0, which suppresses the tag.
 
-use crate::exec::parallel::wake_batched;
+use crate::exec::server::wake_batched;
 use crate::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
@@ -72,6 +78,8 @@ impl<T> Clone for ExchangeRound<T> {
 /// Lock-protected state of one leaf shard: the deposit slots of its ranks,
 /// the entry guard, and the distributed copy of the completed round.
 struct ShardState {
+    /// Id of the owning job (0 for standalone hubs), for diagnostics.
+    job: u64,
     generation: u64,
     op_name: Option<&'static str>,
     /// Deposit slots of this shard's ranks, indexed locally
@@ -94,9 +102,20 @@ struct ShardState {
     wakers: Vec<Option<Waker>>,
 }
 
+/// Diagnostic suffix naming the owning job; empty for standalone hubs
+/// (job id 0), so single-run panic messages stay unchanged.
+fn job_tag(job: u64) -> String {
+    if job == 0 {
+        String::new()
+    } else {
+        format!(" [job #{job}]")
+    }
+}
+
 impl ShardState {
-    fn new(width: usize) -> Self {
+    fn new(width: usize, job: u64) -> Self {
         Self {
+            job,
             generation: 0,
             op_name: None,
             values: (0..width).map(|_| None).collect(),
@@ -127,17 +146,20 @@ impl ShardState {
         match self.op_name {
             None => self.op_name = Some(op_name),
             Some(existing) => assert_eq!(
-                existing, op_name,
+                existing,
+                op_name,
                 "collective mismatch: rank {rank} entered `{op_name}` while \
-                 others are in `{existing}` (generation {})",
-                self.generation
+                 others are in `{existing}` (generation {}){}",
+                self.generation,
+                job_tag(self.job)
             ),
         }
         assert!(
             self.values[local].is_none(),
             "rank {rank} deposited twice in collective `{op_name}` \
-             (generation {})",
-            self.generation
+             (generation {}){}",
+            self.generation,
+            job_tag(self.job)
         );
         self.values[local] = Some(Box::new(value));
         self.arrived += 1;
@@ -162,7 +184,12 @@ impl ShardState {
             .result
             .as_ref()?
             .downcast_ref::<Arc<Vec<T>>>()
-            .unwrap_or_else(|| panic!("collective `{op_name}`: payload type mismatch across ranks"))
+            .unwrap_or_else(|| {
+                panic!(
+                    "collective `{op_name}`: payload type mismatch across ranks{}",
+                    job_tag(self.job)
+                )
+            })
             .clone();
         let max_clock = self.result_max_clock;
         self.departed += 1;
@@ -208,6 +235,8 @@ struct TreeNode {
 /// combined by a fixed-arity reduction tree.
 pub struct Hub {
     size: usize,
+    /// Id of the owning job (0 for standalone hubs), for diagnostics.
+    job: u64,
     /// Ranks per shard (`ceil(size / shard_count)`); the last shard may
     /// hold fewer ("ragged").
     shard_width: usize,
@@ -227,6 +256,14 @@ impl Hub {
     /// The effective shard count is clamped to `[1, size]`; ranks map to
     /// shards by `rank / ceil(size / shards)`.
     pub fn with_shards(size: usize, shards: usize) -> Self {
+        Self::for_job(0, size, shards)
+    }
+
+    /// [`Hub::with_shards`] for the hub of job `job`: collective-mismatch
+    /// diagnostics are tagged with the id, so concurrent jobs on one
+    /// [`crate::exec::server::JobServer`] stay distinguishable (`0`
+    /// suppresses the tag).
+    pub fn for_job(job: u64, size: usize, shards: usize) -> Self {
         assert!(size >= 1, "a run needs at least one rank");
         let shard_width = size.div_ceil(shards.clamp(1, size));
         let shard_count = size.div_ceil(shard_width);
@@ -238,7 +275,7 @@ impl Hub {
                 Shard {
                     base,
                     parent: None,
-                    state: Mutex::new(ShardState::new(width)),
+                    state: Mutex::new(ShardState::new(width, job)),
                     cond: Condvar::new(),
                 }
             })
@@ -282,12 +319,17 @@ impl Hub {
             }
         }
 
-        Self { size, shard_width, shards, nodes }
+        Self { size, job, shard_width, shards, nodes }
     }
 
     /// Number of participating ranks.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Id of the owning job (0 for standalone hubs).
+    pub fn job(&self) -> u64 {
+        self.job
     }
 
     /// Number of leaf shards.
@@ -329,11 +371,13 @@ impl Hub {
             let mut st = shard.state.lock();
             let shard_op = st.op_name.expect("completed shard has an op");
             assert_eq!(
-                shard_op, op_name,
+                shard_op,
+                op_name,
                 "collective mismatch across hub shards: shard {idx} is in \
                  `{shard_op}` while the completing rank is in `{op_name}` \
-                 (generation {})",
-                st.generation
+                 (generation {}){}",
+                st.generation,
+                job_tag(self.job)
             );
             debug_assert_eq!(st.arrived, st.values.len(), "shard {idx} incomplete at assembly");
             for slot in st.values.iter_mut() {
@@ -341,7 +385,8 @@ impl Hub {
                 vec.push(*boxed.downcast::<T>().unwrap_or_else(|_| {
                     panic!(
                         "collective `{op_name}`: payload type mismatch \
-                         across ranks"
+                         across ranks{}",
+                        job_tag(self.job)
                     )
                 }));
             }

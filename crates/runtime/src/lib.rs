@@ -26,12 +26,22 @@
 //!   synchronization points. No threads and no blocking, so it scales to
 //!   tens of thousands of ranks (`P ≥ 16384`) and detects deadlocks
 //!   instead of hanging.
-//! * [`Backend::Parallel`] — a work-stealing pool of `M` worker threads
-//!   ([`RunConfig::with_workers`], `ULBA_WORKERS`; default: all cores)
-//!   driving all rank futures; ranks blocked at a synchronization point
-//!   park their wakers in the hub/mailbox and are re-queued by the
-//!   deposit/post that unblocks them. Combines sequential's scale with
-//!   threaded's parallelism: `P = 16384` runs multi-core.
+//! * [`Backend::Parallel`] — submit the run as a job to a work-stealing
+//!   [`JobServer`] (`M` worker threads, [`RunConfig::with_workers`] /
+//!   `ULBA_WORKERS`; default: the process-wide [`JobServer::global`] sized
+//!   to all cores) driving all rank futures; ranks blocked at a
+//!   synchronization point park their wakers in their job's hub/mailbox
+//!   and are re-queued by the deposit/post that unblocks them. Combines
+//!   sequential's scale with threaded's parallelism: `P = 16384` runs
+//!   multi-core.
+//!
+//! One [`JobServer`] admits **many concurrent jobs**: each gets its own
+//! hub/mailbox namespace and job id, admission is priority-ordered
+//! ([`RunConfig::with_priority`]), and deadlock is judged per job by a
+//! live-task counter, so a stuck job is reported (tagged with its id)
+//! while unrelated jobs keep running. Batch clients create one server,
+//! [`JobServer::submit`] their whole sweep, and join the
+//! [`JobHandle`]s.
 //!
 //! Collectives rendezvous at a **sharded** hub: ranks deposit into
 //! `S` leaf shards (one lock each, [`RunConfig::with_hub_shards`] /
@@ -81,6 +91,7 @@ pub mod trace;
 pub use cost::MachineSpec;
 pub use ctx::SpmdCtx;
 pub use engine::{run, try_run, Backend, RunConfig, RunError, RunReport};
+pub use exec::server::{JobHandle, JobServer, Priority};
 pub use mailbox::Tag;
 pub use metrics::{IterationStats, RankMetrics, TimeKind};
 pub use time::VirtualTime;
@@ -409,7 +420,8 @@ mod tests {
                     }
                 });
                 match result {
-                    Err(RunError::Deadlock { blocked, ranks, shards }) => {
+                    Err(RunError::Deadlock { job, blocked, ranks, shards }) => {
+                        assert!(job > 0, "{backend} S={hub_shards}: jobs start at id 1");
                         assert_eq!(ranks, 4, "{backend} S={hub_shards}");
                         assert_eq!(blocked, vec![1, 2, 3], "{backend} S={hub_shards}");
                         // Ranks 1–3 span ceil(3 / width) shards of width

@@ -13,7 +13,7 @@
 //! message available can wake exactly the rank suspended on it — at most
 //! one waker per post, so the mailbox wakes directly; only the sharded
 //! hub's shard-sized wake sets go through the parallel backend's batched
-//! path ([`crate::exec::parallel::wake_batched`]).
+//! path ([`crate::exec::server::wake_batched`]).
 
 use crate::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};

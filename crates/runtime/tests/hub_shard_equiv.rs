@@ -158,7 +158,7 @@ fn deadlock_report_spans_multiple_shards() {
             }
         });
         match result {
-            Err(RunError::Deadlock { blocked, ranks, shards }) => {
+            Err(RunError::Deadlock { job: _, blocked, ranks, shards }) => {
                 assert_eq!(ranks, 8, "{backend}");
                 assert_eq!(blocked, vec![1, 3, 5, 7], "{backend}");
                 assert_eq!(shards, vec![0, 1, 2, 3], "{backend}: every shard holds a stuck rank");
@@ -182,7 +182,7 @@ fn deadlock_report_names_only_affected_shards() {
             }
         });
         match result {
-            Err(RunError::Deadlock { blocked, ranks, shards }) => {
+            Err(RunError::Deadlock { job: _, blocked, ranks, shards }) => {
                 assert_eq!(ranks, 12, "{backend}");
                 assert_eq!(blocked, vec![6, 7, 8, 9], "{backend}");
                 assert_eq!(shards, vec![2, 3], "{backend}");

@@ -16,8 +16,9 @@
 //! * [`runtime`] (`ulba-runtime`) — a virtual-time SPMD distributed-memory
 //!   runtime (typed messages, collectives, Hockney cost model,
 //!   per-rank/iteration metrics) with pluggable execution backends: one OS
-//!   thread per rank, or a single-threaded lockstep scheduler that scales
-//!   past 16 k ranks;
+//!   thread per rank, a single-threaded lockstep scheduler that scales past
+//!   16 k ranks, or a shared work-stealing job server that runs many
+//!   concurrent SPMD jobs on one worker pool;
 //! * [`core`] (`ulba-core`) — the ULBA machinery of §III-C: WIR estimation,
 //!   gossip dissemination, z-score overload detection, the Zhai degradation
 //!   trigger, Algorithm 2 target shares, weighted stripe partitioning and
@@ -72,10 +73,16 @@ pub use ulba_runtime as runtime;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use ulba_core::prelude::*;
-    pub use ulba_erosion::{run_erosion, run_erosion_median, ErosionConfig, TriggerKind};
+    pub use ulba_erosion::{
+        median_result, run_erosion, run_erosion_batch, run_erosion_median, submit_erosion,
+        ErosionConfig, ErosionJob, TriggerKind,
+    };
     pub use ulba_model::{
         schedule::{menon_schedule, sigma_plus_schedule, total_time},
         InstanceDistribution, Method, ModelParams, Schedule,
     };
-    pub use ulba_runtime::{run, try_run, Backend, MachineSpec, RunConfig, RunReport, SpmdCtx};
+    pub use ulba_runtime::{
+        run, try_run, Backend, JobHandle, JobServer, MachineSpec, Priority, RunConfig, RunError,
+        RunReport, SpmdCtx,
+    };
 }

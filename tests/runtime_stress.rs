@@ -64,9 +64,9 @@ fn utilization_reflects_speed_heterogeneity() {
 #[test]
 fn deterministic_under_contention() {
     let go = || {
-        let order = Mutex::new(Vec::new());
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
         let report = run(RunConfig::new(16), |mut ctx| {
-            let order = &order;
+            let order = std::sync::Arc::clone(&order);
             async move {
                 for round in 0..20u64 {
                     // All-to-one traffic with rank-dependent compute to shake
@@ -84,7 +84,8 @@ fn deterministic_under_contention() {
                 }
             }
         });
-        (report.makespan().as_secs(), order.into_inner())
+        let order = std::sync::Arc::into_inner(order).expect("all ranks finished").into_inner();
+        (report.makespan().as_secs(), order)
     };
     let (m1, o1) = go();
     let (m2, o2) = go();
