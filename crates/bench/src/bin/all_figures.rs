@@ -28,7 +28,12 @@ fn main() {
         11,
         Some(&bench("ablation_anticipation")),
     );
-    figures::weak_scaling::run(&[64, 256], None, ulba_core::gossip::GossipWire::Full, quick_mode());
+    figures::weak_scaling::run(
+        &[64, 256],
+        None,
+        ulba_core::gossip::GossipWire::default(),
+        quick_mode(),
+    );
 
     eprintln!("\nall figures regenerated in {:.1?}", started.elapsed());
 }

@@ -22,7 +22,6 @@ use ulba_bench::output::{
     apply_cli_backend, cli_backend, cli_backends, cli_gossip_wire, cli_json_path, cli_ranks,
     quick_mode,
 };
-use ulba_core::gossip::GossipWire;
 
 fn main() {
     // Exports --workers as ULBA_WORKERS (and --backend as ULBA_BACKEND) so
@@ -33,7 +32,7 @@ fn main() {
         None => vec![cli_backend()],
     };
     let pes = cli_ranks().unwrap_or_else(|| WEAK_SCALING_PE_COUNTS.to_vec());
-    let wire = cli_gossip_wire().unwrap_or(GossipWire::Full);
+    let wire = cli_gossip_wire().unwrap_or_default();
     let smoke = quick_mode();
     let mut rows = Vec::new();
     for backend in backends {

@@ -13,7 +13,7 @@
 //!   runner load and core counts vary).
 //!
 //! `gate_pes` appends, per PE count, the two weak-scaling smoke
-//! configurations (standard and ULBA, full-snapshot gossip) whose virtual
+//! configurations (standard and ULBA, default gossip wire) whose virtual
 //! makespans the CI perf-trajectory gate compares against the committed
 //! `results/BENCH_seed.json` baseline — the drift check that proves the
 //! shared pool reproduces the seed numbers at `P = 16384`.
@@ -99,7 +99,7 @@ pub fn run(
         for (label, policy) in
             [("standard", LbPolicy::Standard), ("ulba", LbPolicy::ulba_fixed(0.4))]
         {
-            let cfg = super::weak_scaling::config_for(ranks, policy, GossipWire::Full, smoke);
+            let cfg = super::weak_scaling::config_for(ranks, policy, GossipWire::default(), smoke);
             specs.push((label.to_string(), ranks, cfg));
         }
     }
@@ -111,6 +111,17 @@ pub fn run(
         specs.len(),
         if smoke { " (smoke)" } else { "" }
     );
+
+    // Explicit untimed warmup: one single-iteration job primes the process
+    // heap, so the one-time page-zeroing cost does not land on the serial
+    // pass's first job and skew the serial-vs-batched comparison.
+    if let Some((_, ranks, cfg)) = specs.first() {
+        let mut warm = cfg.clone();
+        warm.iterations = 1;
+        eprintln!("  [warmup P={ranks}] one untimed job before the timed passes");
+        let pool = JobServer::new(workers);
+        let _ = submit_erosion(&pool, &warm).join();
+    }
 
     // Pass 1: one transient pool per run, joined before the next starts.
     let serial_started = Instant::now();

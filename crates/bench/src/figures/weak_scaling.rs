@@ -14,7 +14,10 @@
 //! fraction), the *real* wall-clock cost of simulating the run (the
 //! backend comparison axis), and the memory story — aggregate WIR-database
 //! entries plus the process's peak RSS — that gates the `P = 65536` CI
-//! leg. CSV: `results/weak_scaling_<backend>.csv` — one file per backend,
+//! leg. Every sweep starts with one explicit *untimed* single-iteration
+//! warmup run, so the process's one-time heap-growth/page-zeroing cost is
+//! not booked against the first timed leg's `sim_wall_s`.
+//! CSV: `results/weak_scaling_<backend>.csv` — one file per backend,
 //! so runs on different backends can be compared side by side instead of
 //! overwriting each other. [`write_json_report`] additionally emits one
 //! machine-readable JSON document (schema 3) covering all backends of an
@@ -109,6 +112,18 @@ pub fn run(
          (α = 0.4), backend: {backend_label}, gossip wire: {wire}{}",
         if smoke { ", smoke" } else { "" }
     );
+    // Explicit untimed warmup: the first simulation in a process pays a
+    // one-time heap-growth + page-zeroing cost (hundreds of seconds at the
+    // largest P) that used to land entirely on the first timed leg's
+    // `sim_wall_s`. A single-iteration run of the first configuration
+    // faults in the allocator before any timer starts.
+    if let Some(&ranks) = pe_counts.first() {
+        let mut warm = config_for(ranks, LbPolicy::Standard, wire, smoke);
+        warm.backend = backend;
+        warm.iterations = 1;
+        eprintln!("  [warmup P={ranks}] one untimed iteration before the timed legs");
+        let _ = run_erosion(&warm);
+    }
     let mut rows = Vec::new();
     for &ranks in pe_counts {
         for (label, policy) in

@@ -118,7 +118,12 @@ fn random_peers(
             peers.push(p);
         }
     }
-    debug_assert_eq!(
+    // Hard assert in every profile: an under-filled list would silently
+    // gossip to fewer peers than configured, skewing convergence — a
+    // release build must fail loudly rather than degrade dissemination.
+    // (`want ≤ size − 1` and the 64·P draw budget make this unreachable in
+    // practice: the worst case is coupon-collector, ~P·ln P draws.)
+    assert_eq!(
         peers.len(),
         want,
         "random_peers under-filled after {draws} draws \
@@ -128,17 +133,17 @@ fn random_peers(
 }
 
 /// Wire format of the gossip payloads (what a dissemination step sends).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GossipWire {
     /// Every message carries the sender's full database snapshot — the
-    /// paper's scheme (and the default), `O(known entries)` bytes per
-    /// message.
-    #[default]
+    /// paper's scheme, `O(known entries)` bytes per message.
     Full,
     /// Messages carry only the entries that changed since the sender last
     /// wrote to that peer (per-peer change-clock watermark, see
     /// [`GossipOutbox`]), with a periodic full-snapshot anti-entropy round
-    /// as the safety net.
+    /// as the safety net. This is the default wire: it is provably
+    /// merge-identical to [`GossipWire::Full`] and the honest wire charge
+    /// is what makes the largest legs affordable.
     Delta {
         /// Anti-entropy period: at rounds divisible by `full_every`, full
         /// snapshots are sent regardless of watermarks, so a peer that
@@ -156,6 +161,15 @@ impl GossipWire {
     /// Delta wire with the default anti-entropy period.
     pub fn delta() -> Self {
         GossipWire::Delta { full_every: Self::DEFAULT_FULL_EVERY }
+    }
+}
+
+impl Default for GossipWire {
+    /// Delta gossip with the default anti-entropy period — flipped from
+    /// `Full` once the committed baselines were regenerated under the new
+    /// wire (see the README's baseline regeneration policy).
+    fn default() -> Self {
+        Self::delta()
     }
 }
 
@@ -421,7 +435,27 @@ mod tests {
         assert!("bogus".parse::<GossipWire>().is_err());
         assert_eq!(GossipWire::Delta { full_every: 7 }.to_string(), "delta:7");
         assert_eq!(GossipWire::Full.to_string(), "full");
-        assert_eq!(GossipWire::default(), GossipWire::Full);
+        assert_eq!(GossipWire::default(), GossipWire::delta(), "delta is the default wire");
+    }
+
+    #[test]
+    fn random_peers_always_fill_to_want_in_every_profile() {
+        // Regression: the under-fill check used to be a `debug_assert`, so
+        // a release build could silently gossip to fewer peers than
+        // configured. Sweep the adversarial corners — fanout = P − 1
+        // (coupon collector, maximal rejection) and tiny sizes with an
+        // `include` peer eating into the pool — and check the exact fill
+        // that the hard assert now enforces in all profiles.
+        for size in [2usize, 3, 4, 7, 16, 64, 256] {
+            for round in 0..8u64 {
+                let all =
+                    select_peers(GossipMode::RandomPush { fanout: size - 1 }, 0, size, round, 7);
+                assert_eq!(all.len(), size - 1, "size {size} round {round}");
+                let hybrid =
+                    select_peers(GossipMode::Hybrid { fanout: size - 1 }, 1, size, round, 7);
+                assert_eq!(hybrid.len(), size - 1, "size {size} round {round} (hybrid)");
+            }
+        }
     }
 
     #[test]

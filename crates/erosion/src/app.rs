@@ -27,7 +27,7 @@
 use crate::config::{ErosionConfig, TriggerKind};
 use crate::erode::erosion_step;
 use crate::geometry::Geometry;
-use crate::stripe::{exchange_halos, migrate, Stripe};
+use crate::stripe::{exchange_halos_reusing, migrate, HaloScratch, Stripe};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -268,8 +268,15 @@ async fn rank_program(
     // by global column index as of `history_iter`.
     let mut history: HashMap<usize, u64> = HashMap::new();
     let mut history_iter = 0u64;
+    // Scratch reused across iterations/LB steps so the steady-state loop
+    // allocates nothing: halo send buffers are refilled from the halos
+    // received the previous iteration, and the per-column weight vector
+    // is cleared and refilled in place at each LB step.
+    let mut halo_scratch = HaloScratch::new();
+    let mut weights_scratch: Vec<u64> = Vec::new();
     if cfg.anticipatory_partitioning {
-        for (i, w) in stripe.col_weights().into_iter().enumerate() {
+        stripe.col_weights_into(&mut weights_scratch);
+        for (i, &w) in weights_scratch.iter().enumerate() {
             history.insert(stripe.first_col() + i, w);
         }
     }
@@ -278,7 +285,7 @@ async fn rank_program(
         let iter_start = ctx.now();
 
         // (1) Halo exchange + boundary exposure refresh.
-        let halos = exchange_halos(&mut ctx, &stripe).await;
+        let halos = exchange_halos_reusing(&mut ctx, &stripe, &mut halo_scratch).await;
         stripe.refresh_boundary_exposure(halos.left.as_deref(), halos.right.as_deref());
 
         // (2) Fluid compute + frontier scan (charged).
@@ -297,6 +304,9 @@ async fn rank_program(
             &prob_of,
         );
         eroded_total += delta.eroded as u64;
+        // The halos are fully consumed: feed their buffers back into the
+        // next iteration's sends.
+        halos.recycle_into(&mut halo_scratch);
 
         // (4) WIR measurement + one gossip dissemination step.
         wir.push(iter, workload_flops);
@@ -370,7 +380,8 @@ async fn rank_program(
             let my_alpha = cfg.policy.alpha_for(my_z);
             // Optionally extrapolate column weights over the expected
             // next interval (persistence: ≈ the last interval length).
-            let current_weights = stripe.col_weights();
+            stripe.col_weights_into(&mut weights_scratch);
+            let current_weights = &weights_scratch;
             let split_weights = if cfg.anticipatory_partitioning {
                 let elapsed_iters = (iter - history_iter).max(1) as f64;
                 let rates: Vec<f64> = current_weights
@@ -384,7 +395,7 @@ async fn rank_program(
                         }
                     })
                     .collect();
-                predicted_weights(&current_weights, &rates, elapsed_iters)
+                predicted_weights(current_weights, &rates, elapsed_iters)
             } else {
                 current_weights.clone()
             };
@@ -431,7 +442,8 @@ async fn rank_program(
             wir.reset();
             if cfg.anticipatory_partitioning {
                 history.clear();
-                for (i, w) in stripe.col_weights().into_iter().enumerate() {
+                stripe.col_weights_into(&mut weights_scratch);
+                for (i, &w) in weights_scratch.iter().enumerate() {
                     history.insert(stripe.first_col() + i, w);
                 }
                 history_iter = iter;
@@ -811,6 +823,8 @@ mod tests {
         // message arrives no later — the makespan can only shrink.
         let mut cfg = ErosionConfig::tiny(8, 2);
         cfg.trigger = TriggerKind::Never;
+        // The default wire is delta — pin the full wire for the baseline.
+        cfg.gossip_wire = GossipWire::Full;
         let full = run_erosion(&cfg);
         cfg.gossip_wire = GossipWire::delta();
         let delta = run_erosion(&cfg);

@@ -140,7 +140,7 @@ impl ErosionConfig {
             policy: LbPolicy::ulba_fixed(0.4),
             trigger: TriggerKind::Zhai,
             gossip: GossipMode::RandomPush { fanout: 2 },
-            gossip_wire: GossipWire::Full,
+            gossip_wire: GossipWire::default(),
             wir_window: 8,
             anticipatory_partitioning: false,
             initial_lb_cost_factor: 1.0,

@@ -85,7 +85,19 @@ impl Stripe {
 
     /// Per-column weights, in global column order (the partitioner's items).
     pub fn col_weights(&self) -> Vec<u64> {
-        self.cols.iter().map(|c| c.fluid_weight() as u64).collect()
+        let mut out = Vec::with_capacity(self.len());
+        self.col_weights_into(&mut out);
+        out
+    }
+
+    /// Fill `out` with the per-column weights (global column order),
+    /// clearing it first — the allocation-free form of [`col_weights`]
+    /// for callers that keep a scratch vector across LB steps.
+    ///
+    /// [`col_weights`]: Self::col_weights
+    pub fn col_weights_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.cols.iter().map(|c| c.fluid_weight() as u64));
     }
 
     /// Total number of currently exposed rock cells.
@@ -105,10 +117,14 @@ impl Stripe {
             self.cols[0].refresh_exposure(left, right);
             return;
         }
-        let inner_right = self.cols[1].cells().to_vec();
-        self.cols[0].refresh_exposure(left, Some(&inner_right));
-        let inner_left = self.cols[n - 2].cells().to_vec();
-        self.cols[n - 1].refresh_exposure(Some(&inner_left), right);
+        // Split borrows instead of copying the inner neighbour columns:
+        // each boundary column is mutated while its inner neighbour is
+        // only read, so the two height-sized `to_vec` snapshots this used
+        // to take every iteration were pure allocation overhead.
+        let (first, rest) = self.cols.split_at_mut(1);
+        first[0].refresh_exposure(left, Some(rest[0].cells()));
+        let (rest, last) = self.cols.split_at_mut(n - 1);
+        last[0].refresh_exposure(Some(rest[n - 2].cells()), right);
     }
 
     /// Consistency check across all columns (tests / debug).
@@ -129,19 +145,72 @@ pub struct Halos {
     pub right: Option<Vec<Cell>>,
 }
 
+impl Halos {
+    /// Hand the consumed halo buffers back to `scratch` so the next
+    /// iteration's sends refill them instead of allocating.
+    pub fn recycle_into(self, scratch: &mut HaloScratch) {
+        if let Some(buf) = self.left {
+            scratch.recycle(buf);
+        }
+        if let Some(buf) = self.right {
+            scratch.recycle(buf);
+        }
+    }
+}
+
+/// Send-buffer pool for [`exchange_halos_reusing`]. A halo payload must be
+/// an owned `Vec<Cell>` (the receiving rank consumes it), so the sender
+/// cannot keep its buffer — but each rank also *receives* at most as many
+/// halos as it sends, so recycling the received buffers closes the loop:
+/// after the first iteration the exchange allocates nothing.
+#[derive(Debug, Default)]
+pub struct HaloScratch {
+    pool: Vec<Vec<Cell>>,
+}
+
+impl HaloScratch {
+    /// An empty pool (the first exchange through it allocates its buffers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return a consumed halo buffer for reuse as a future send buffer.
+    pub fn recycle(&mut self, mut buf: Vec<Cell>) {
+        buf.clear();
+        self.pool.push(buf);
+    }
+
+    fn take(&mut self) -> Vec<Cell> {
+        self.pool.pop().unwrap_or_default()
+    }
+}
+
 /// Perform the per-iteration halo exchange: boundary column cells flow to
 /// both neighbours. Every rank must own at least one column.
 pub async fn exchange_halos(ctx: &mut SpmdCtx, stripe: &Stripe) -> Halos {
+    exchange_halos_reusing(ctx, stripe, &mut HaloScratch::new()).await
+}
+
+/// [`exchange_halos`], but drawing send buffers from `scratch` — the
+/// steady-state form used by the erosion loop, which recycles each
+/// iteration's received halos into the next iteration's sends.
+pub async fn exchange_halos_reusing(
+    ctx: &mut SpmdCtx,
+    stripe: &Stripe,
+    scratch: &mut HaloScratch,
+) -> Halos {
     assert!(!stripe.is_empty(), "halo exchange requires a non-empty stripe");
     let rank = ctx.rank();
     let size = ctx.size();
     let height_bytes = stripe.cols()[0].height() * Cell::BYTES;
     if rank > 0 {
-        let cells = stripe.cols()[0].cells().to_vec();
+        let mut cells = scratch.take();
+        cells.extend_from_slice(stripe.cols()[0].cells());
         ctx.send(rank - 1, HALO_TAG, cells, height_bytes);
     }
     if rank + 1 < size {
-        let cells = stripe.cols()[stripe.len() - 1].cells().to_vec();
+        let mut cells = scratch.take();
+        cells.extend_from_slice(stripe.cols()[stripe.len() - 1].cells());
         ctx.send(rank + 1, HALO_TAG, cells, height_bytes);
     }
     let left = if rank > 0 { Some(ctx.recv::<Vec<Cell>>(rank - 1, HALO_TAG).await) } else { None };

@@ -282,8 +282,9 @@ impl SpmdCtx {
         let round = self.exchange("allreduce", value).await;
         let cost = self.shared.spec.allreduce_secs(self.size, bytes);
         self.sync_traced("allreduce", round.max_clock, cost);
-        let mut acc = round.values[0].clone();
-        for v in &round.values[1..] {
+        let mut values = round.values.iter();
+        let mut acc = values.next().expect("at least one rank deposited").clone();
+        for v in values {
             acc = combine(&acc, v);
         }
         acc

@@ -316,6 +316,16 @@ pub enum RunError {
         /// at large `P`.
         shards: Vec<usize>,
     },
+    /// A [`crate::exec::server::JobHandle`] observed its job as finished
+    /// but the result slot was already empty — the outcome was consumed
+    /// through another path (a raced double-join) or the finalizing worker
+    /// died before publishing it. Used to be an `expect` panic inside the
+    /// join path; surfacing it structurally lets batch clients skip the
+    /// one bad job instead of tearing the whole sweep down.
+    ResultMissing {
+        /// Id of the job whose outcome vanished.
+        job: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -338,6 +348,13 @@ impl std::fmt::Display for RunError {
                     if shards.len() > 8 { " …" } else { "" },
                 )
             }
+            RunError::ResultMissing { job } => {
+                write!(
+                    f,
+                    "job #{job} finished but its result was already consumed \
+                     (double-join race) or never published by the finalizing worker"
+                )
+            }
         }
     }
 }
@@ -346,7 +363,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::ThreadSpawn { source, .. } => Some(source),
-            RunError::Deadlock { .. } => None,
+            RunError::Deadlock { .. } | RunError::ResultMissing { .. } => None,
         }
     }
 }

@@ -229,11 +229,15 @@ pub(crate) fn wake_batched(wakers: Vec<Waker>) {
     for waker in wakers {
         waker.wake();
     }
+    // The slot was installed above, so `take()` only yields `None` if a
+    // waker cleared it behind our back; treating that as an empty batch
+    // (every such wake already ran unbatched through its state
+    // transition) beats panicking mid-wake with shard locks released.
     let mut batch = WAKE_BATCH.with(|b| {
         let mut slot = b.borrow_mut();
         let batch = slot.take();
         *slot = previous;
-        batch.expect("batch installed above")
+        batch.unwrap_or_default()
     });
     // Flush per server (in practice one), preserving FIFO order so batched
     // wakes are polled in the order the hub issued them (shard by shard).
@@ -794,12 +798,23 @@ impl JobHandle {
         if me.is_some() || self.core.spawned.load(Ordering::Acquire) == 0 {
             self.help_drive(me);
         } else {
+            // Wait on `done`, not on the result slot alone: a consumed
+            // result (double-join race) would otherwise park this thread
+            // forever — finalize publishes the outcome before flipping
+            // `done`, so `done` + empty slot can only mean "consumed".
             let mut result = self.job.result.lock();
-            while result.is_none() {
+            while result.is_none() && !self.job.done.load(Ordering::Acquire) {
                 self.job.joined.wait(&mut result);
             }
         }
-        let outcome = self.job.result.lock().take().expect("finalized job has a result");
+        // A finished job always publishes its outcome before flipping
+        // `done`, but a raced double-join (through a leaked raw handle) or
+        // a finalizing worker dying between the flag and the publish would
+        // leave the slot empty — report that structurally rather than
+        // panicking the joining thread.
+        let Some(outcome) = self.job.result.lock().take() else {
+            return Err(RunError::ResultMissing { job: self.job.shared.job_id() });
+        };
         match outcome {
             Ok(report) => Ok(report),
             Err(JobFailure::Error(err)) => Err(err),
@@ -858,4 +873,29 @@ where
         None => JobServer::new(effective_workers(config)).submit(config.clone(), body),
     };
     handle.join()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a finished job whose outcome was consumed out from
+    /// under the handle (the double-join race) used to `expect`-panic the
+    /// joining thread; it must surface as [`RunError::ResultMissing`].
+    #[test]
+    fn consumed_result_is_a_structured_error_not_a_panic() {
+        let server = JobServer::new(1);
+        let handle = server.submit(RunConfig::new(2), |mut ctx| async move {
+            ctx.barrier().await;
+        });
+        while !handle.is_done() {
+            std::thread::yield_now();
+        }
+        let consumed = handle.job.result.lock().take();
+        assert!(consumed.is_some(), "finished job published a result");
+        match handle.join() {
+            Err(RunError::ResultMissing { job }) => assert!(job >= 1),
+            other => panic!("expected ResultMissing, got {other:?}"),
+        }
+    }
 }

@@ -51,7 +51,9 @@
 use crate::exec::server::wake_batched;
 use crate::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};
-use std::any::Any;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::ops::Index;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::Waker;
@@ -60,18 +62,114 @@ use std::task::Waker;
 /// node waits for up to this many children before notifying its parent.
 const TREE_ARITY: usize = 4;
 
+/// Rank-indexed values of one completed round, stored as the per-shard
+/// chunks the reduction tree assembled them in — never concatenated into
+/// one `O(P)` vector. Chunk `s` holds the deposits of ranks
+/// `s * width .. s * width + chunk.len()` in rank order, so indexing,
+/// iteration and [`RoundValues::to_vec`] observe exactly the monolithic
+/// rank-indexed vector of the pre-chunk hub, for any shard count.
+pub struct RoundValues<T> {
+    /// Per-shard chunks in shard (= rank) order; `O(S)` handles.
+    chunks: Arc<Vec<Arc<Vec<T>>>>,
+    /// Ranks per chunk (the last chunk may be ragged).
+    width: usize,
+    /// Total rank count.
+    len: usize,
+}
+
+impl<T> Clone for RoundValues<T> {
+    fn clone(&self) -> Self {
+        Self { chunks: Arc::clone(&self.chunks), width: self.width, len: self.len }
+    }
+}
+
+impl<T> RoundValues<T> {
+    /// Wrap an already rank-indexed vector as a single-chunk round (the
+    /// `S = 1` shape); used by tests and single-shard assembly alike.
+    pub fn from_vec(values: Vec<T>) -> Self {
+        let len = values.len();
+        Self { chunks: Arc::new(vec![Arc::new(values)]), width: len.max(1), len }
+    }
+
+    /// Number of participating ranks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the round is empty (never true for a live hub: `P ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the values in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|chunk| chunk.iter())
+    }
+
+    /// Copy the values out into one rank-indexed vector.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len);
+        for chunk in self.chunks.iter() {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+}
+
+impl<T> Index<usize> for RoundValues<T> {
+    type Output = T;
+
+    fn index(&self, rank: usize) -> &T {
+        &self.chunks[rank / self.width][rank % self.width]
+    }
+}
+
+impl<T: PartialEq> PartialEq<Vec<T>> for RoundValues<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.len == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RoundValues<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// Result of one exchange round: the rank-indexed values and the latest
 /// deposit clock (the virtual instant at which the collective can complete).
 pub struct ExchangeRound<T> {
     /// Values deposited by each rank, indexed by rank.
-    pub values: Arc<Vec<T>>,
+    pub values: RoundValues<T>,
     /// Maximum clock among the participants at deposit time.
     pub max_clock: VirtualTime,
 }
 
 impl<T> Clone for ExchangeRound<T> {
     fn clone(&self) -> Self {
-        Self { values: Arc::clone(&self.values), max_clock: self.max_clock }
+        Self { values: self.values.clone(), max_clock: self.max_clock }
+    }
+}
+
+/// A type-erased chunk handle a shard keeps after distributing its round,
+/// so the underlying buffer can be recycled once every consumer has
+/// dropped its copy (steady-state rounds then allocate nothing
+/// proportional to `P`).
+trait ReclaimChunk: Send {
+    /// Recover the chunk's buffer if this is the last handle: returns the
+    /// cleared `Vec<T>` (capacity intact) keyed by its element type.
+    fn reclaim(self: Box<Self>) -> Option<(TypeId, Box<dyn Any + Send>)>;
+}
+
+impl<T: Send + Sync + 'static> ReclaimChunk for Arc<Vec<T>> {
+    fn reclaim(self: Box<Self>) -> Option<(TypeId, Box<dyn Any + Send>)> {
+        Arc::try_unwrap(*self).ok().map(|mut buf| {
+            buf.clear();
+            (TypeId::of::<T>(), Box::new(buf) as Box<dyn Any + Send>)
+        })
     }
 }
 
@@ -82,18 +180,36 @@ struct ShardState {
     job: u64,
     generation: u64,
     op_name: Option<&'static str>,
-    /// Deposit slots of this shard's ranks, indexed locally
-    /// (`rank - base`). Taken by the root assembly on round completion.
-    values: Vec<Option<Box<dyn Any + Send>>>,
+    /// Number of ranks in this shard.
+    width: usize,
+    /// Typed deposit slots of this shard's ranks (`Vec<Option<T>>`,
+    /// indexed locally by `rank - base`), created by the round's first
+    /// deposit and drained into the shard's chunk by the root assembly.
+    /// Recycled per element type across generations, so steady-state
+    /// deposits box nothing.
+    deposits: Option<Box<dyn Any + Send>>,
     arrived: usize,
     max_clock: VirtualTime,
     /// Whether a new deposit may enter. Closed when the shard completes
     /// locally; reopened by the globally last drain of the round.
     entry_open: bool,
-    /// Type-erased `Arc<Vec<T>>` of the completed round, distributed to
-    /// every shard by the completing rank.
+    /// Type-erased [`RoundValues<T>`] of the completed round, distributed
+    /// to every shard by the completing rank.
     result: Option<Box<dyn Any + Send>>,
     result_max_clock: VirtualTime,
+    /// This shard's own chunk of the distributed round, retained so the
+    /// buffer can be recycled once consumers drop their round handles.
+    own_chunk: Option<Box<dyn ReclaimChunk>>,
+    /// Last generation's chunk handle, awaiting reclamation at the next
+    /// assembly (by then every rank has re-entered, so its round handles
+    /// — which pin all chunks through the shared chunk list — are gone).
+    graveyard: Option<Box<dyn ReclaimChunk>>,
+    /// Cleared, capacity-bearing chunk buffers keyed by element type; the
+    /// collective mix of an application is a handful of types, so this
+    /// stays O(types × shard width).
+    spare_chunks: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// Cleared `Vec<Option<T>>` deposit buffers keyed by element type.
+    spare_deposits: HashMap<TypeId, Box<dyn Any + Send>>,
     departed: usize,
     /// Wakers of cooperatively scheduled ranks parked at the rendezvous
     /// (waiting either for the round to complete or for entry to reopen),
@@ -118,12 +234,17 @@ impl ShardState {
             job,
             generation: 0,
             op_name: None,
-            values: (0..width).map(|_| None).collect(),
+            width,
+            deposits: None,
             arrived: 0,
             max_clock: VirtualTime::ZERO,
             entry_open: true,
             result: None,
             result_max_clock: VirtualTime::ZERO,
+            own_chunk: None,
+            graveyard: None,
+            spare_chunks: HashMap::new(),
+            spare_deposits: HashMap::new(),
             departed: 0,
             wakers: (0..width).map(|_| None).collect(),
         }
@@ -154,22 +275,73 @@ impl ShardState {
                 job_tag(self.job)
             ),
         }
+        let job = self.job;
+        let slots = match &mut self.deposits {
+            Some(buf) => buf.downcast_mut::<Vec<Option<T>>>().unwrap_or_else(|| {
+                panic!("collective `{op_name}`: payload type mismatch across ranks{}", job_tag(job))
+            }),
+            none => {
+                let mut buf: Vec<Option<T>> = match self.spare_deposits.remove(&TypeId::of::<T>()) {
+                    Some(spare) => *spare.downcast().expect("spare deposit buffer keyed by type"),
+                    None => Vec::with_capacity(self.width),
+                };
+                buf.resize_with(self.width, || None);
+                none.insert(Box::new(buf)).downcast_mut::<Vec<Option<T>>>().expect("just inserted")
+            }
+        };
         assert!(
-            self.values[local].is_none(),
+            slots[local].is_none(),
             "rank {rank} deposited twice in collective `{op_name}` \
              (generation {}){}",
             self.generation,
             job_tag(self.job)
         );
-        self.values[local] = Some(Box::new(value));
+        slots[local] = Some(value);
         self.arrived += 1;
         self.max_clock = self.max_clock.max(clock);
-        if self.arrived == self.values.len() {
+        if self.arrived == self.width {
             self.entry_open = false;
             true
         } else {
             false
         }
+    }
+
+    /// Drain this shard's typed deposit slots into a chunk in local-rank
+    /// order, recycling both the chunk buffer and the deposit buffer from
+    /// previous generations of the same element type. Called by the root
+    /// assembly with the shard complete.
+    fn assemble_chunk<T: Send + Sync + 'static>(&mut self, op_name: &'static str) -> Vec<T> {
+        // A full generation has passed since the graveyard chunk was
+        // distributed, so every consumer handle is normally gone and the
+        // buffer comes back; if a rank body still pins it, the handle is
+        // simply dropped and the next round allocates afresh.
+        if let Some(grave) = self.graveyard.take() {
+            if let Some((tid, buf)) = grave.reclaim() {
+                self.spare_chunks.insert(tid, buf);
+            }
+        }
+        let mut chunk: Vec<T> = match self.spare_chunks.remove(&TypeId::of::<T>()) {
+            Some(spare) => *spare.downcast().expect("spare chunk keyed by type"),
+            None => Vec::with_capacity(self.width),
+        };
+        let mut slots: Vec<Option<T>> = *self
+            .deposits
+            .take()
+            .expect("completed shard has deposits")
+            .downcast::<Vec<Option<T>>>()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "collective `{op_name}`: payload type mismatch across ranks{}",
+                    job_tag(self.job)
+                )
+            });
+        chunk.extend(
+            slots.iter_mut().map(|s| s.take().expect("all ranks of a completed round deposited")),
+        );
+        slots.clear();
+        self.spare_deposits.insert(TypeId::of::<T>(), Box::new(slots));
+        chunk
     }
 
     /// Read the distributed round result, if present. Returns the round
@@ -180,10 +352,10 @@ impl ShardState {
         &mut self,
         op_name: &'static str,
     ) -> Option<(ExchangeRound<T>, bool)> {
-        let arc = self
+        let values = self
             .result
             .as_ref()?
-            .downcast_ref::<Arc<Vec<T>>>()
+            .downcast_ref::<RoundValues<T>>()
             .unwrap_or_else(|| {
                 panic!(
                     "collective `{op_name}`: payload type mismatch across ranks{}",
@@ -193,8 +365,8 @@ impl ShardState {
             .clone();
         let max_clock = self.result_max_clock;
         self.departed += 1;
-        let shard_drained = self.departed == self.values.len();
-        Some((ExchangeRound { values: arc, max_clock }, shard_drained))
+        let shard_drained = self.departed == self.width;
+        Some((ExchangeRound { values, max_clock }, shard_drained))
     }
 
     /// Take every parked waker (to be woken after the shard lock is
@@ -360,12 +532,14 @@ impl Hub {
         true
     }
 
-    /// Root of the reduction: every shard completed, so assemble the
-    /// rank-indexed result (shard order = rank order, hence bit-identical
-    /// for any shard count) and distribute it back to the shards. Returns
-    /// the parked wakers to wake once no locks are held.
+    /// Root of the reduction: every shard completed, so assemble one chunk
+    /// per shard — each drained under its own lock into a recycled buffer,
+    /// never concatenated into an `O(P)` vector — and distribute the
+    /// chunked, rank-indexed [`RoundValues`] back to the shards (chunk
+    /// order = shard order = rank order, hence bit-identical for any shard
+    /// count). Returns the parked wakers to wake once no locks are held.
     fn complete_round<T: Send + Sync + 'static>(&self, op_name: &'static str) -> Vec<Waker> {
-        let mut vec: Vec<T> = Vec::with_capacity(self.size);
+        let mut chunks: Vec<Arc<Vec<T>>> = Vec::with_capacity(self.shards.len());
         let mut max_clock = VirtualTime::ZERO;
         for (idx, shard) in self.shards.iter().enumerate() {
             let mut st = shard.state.lock();
@@ -379,24 +553,18 @@ impl Hub {
                 st.generation,
                 job_tag(self.job)
             );
-            debug_assert_eq!(st.arrived, st.values.len(), "shard {idx} incomplete at assembly");
-            for slot in st.values.iter_mut() {
-                let boxed = slot.take().expect("all ranks of a completed round deposited");
-                vec.push(*boxed.downcast::<T>().unwrap_or_else(|_| {
-                    panic!(
-                        "collective `{op_name}`: payload type mismatch \
-                         across ranks{}",
-                        job_tag(self.job)
-                    )
-                }));
-            }
+            debug_assert_eq!(st.arrived, st.width, "shard {idx} incomplete at assembly");
+            let chunk = Arc::new(st.assemble_chunk::<T>(op_name));
+            st.own_chunk = Some(Box::new(Arc::clone(&chunk)));
+            chunks.push(chunk);
             max_clock = max_clock.max(st.max_clock);
         }
-        let arc = Arc::new(vec);
+        let values =
+            RoundValues { chunks: Arc::new(chunks), width: self.shard_width, len: self.size };
         let mut to_wake = Vec::new();
         for shard in &self.shards {
             let mut st = shard.state.lock();
-            st.result = Some(Box::new(Arc::clone(&arc)));
+            st.result = Some(Box::new(values.clone()));
             st.result_max_clock = max_clock;
             to_wake.extend(st.take_wakers());
             shard.cond.notify_all();
@@ -405,14 +573,19 @@ impl Hub {
     }
 
     /// Root of the drain reduction: every shard fully departed, so reset
-    /// all shards for the next generation and reopen entry. Returns the
-    /// parked wakers (entry-guard waiters) to wake once no locks are held.
+    /// all shards for the next generation and reopen entry. Each shard's
+    /// chunk handle moves to its graveyard, to be recycled by the next
+    /// assembly once consumers have dropped their round handles. Returns
+    /// the parked wakers (entry-guard waiters) to wake once no locks are
+    /// held.
     fn reopen_entry(&self) -> Vec<Waker> {
         let mut to_wake = Vec::new();
         for shard in &self.shards {
             let mut st = shard.state.lock();
-            debug_assert!(st.values.iter().all(Option::is_none));
+            debug_assert!(st.deposits.is_none());
             st.result = None;
+            let retired = st.own_chunk.take();
+            st.graveyard = retired;
             st.arrived = 0;
             st.departed = 0;
             st.max_clock = VirtualTime::ZERO;
@@ -566,7 +739,7 @@ mod tests {
     fn single_rank_exchange_is_immediate() {
         let hub = Hub::new(1);
         let round = hub.exchange(0, "test", 42u32, VirtualTime::from_secs(1.0));
-        assert_eq!(*round.values, vec![42]);
+        assert_eq!(round.values, vec![42]);
         assert_eq!(round.max_clock.as_secs(), 1.0);
     }
 
@@ -603,7 +776,7 @@ mod tests {
                             rank * 10,
                             VirtualTime::from_secs(rank as f64),
                         );
-                        assert_eq!(*round.values, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+                        assert_eq!(round.values, (0..8).map(|r| r * 10).collect::<Vec<_>>());
                         assert_eq!(round.max_clock.as_secs(), 7.0);
                     });
                 }
@@ -622,7 +795,7 @@ mod tests {
                 let hub = &hub;
                 s.spawn(move || {
                     let round = hub.exchange(rank, "ragged", rank as u64, VirtualTime::ZERO);
-                    assert_eq!(*round.values, (0..10u64).collect::<Vec<_>>());
+                    assert_eq!(round.values, (0..10u64).collect::<Vec<_>>());
                 });
             }
         });
@@ -716,7 +889,7 @@ mod tests {
             for rank in 0..3usize {
                 let s = hub.shard_of(rank);
                 let round = hub.poll_collect::<u32>(s, rank, "poll", noop).expect("round complete");
-                assert_eq!(*round.values, vec![0, 1, 2]);
+                assert_eq!(round.values, vec![0, 1, 2]);
                 assert_eq!(round.max_clock.as_secs(), 2.0);
             }
             // Fully drained: the next round may start.

@@ -114,6 +114,81 @@ proptest! {
     }
 }
 
+/// Chunked-assembly payload correctness: every collective's *contents*
+/// (not just the report's timing) checked against the exact expected
+/// value, on every rank, every round. With `S = 1` the round's
+/// [`RoundValues`] holds a single chunk — the monolithic layout the hub
+/// used to build — while `S > 1` stitches per-shard chunks; running the
+/// same program across the sweep proves chunked assembly is
+/// bit-identical to monolithic. Repeating for several rounds drives the
+/// hub's buffer-recycling path (graveyard chunk reclaim + deposit-slab
+/// reuse), so a stale or mis-cleared recycled buffer fails the exact
+/// equality immediately.
+async fn payload_body(mut ctx: SpmdCtx, rounds: u64) {
+    let (rank, size) = (ctx.rank(), ctx.size());
+    for iter in 0..rounds {
+        // allgather: the exact rank-indexed vector (catches chunk
+        // stitching order and stale recycled slots).
+        let gathered = ctx.allgather((rank as u64) << 32 | iter, 8).await;
+        let expect: Vec<u64> = (0..size).map(|r| (r as u64) << 32 | iter).collect();
+        assert_eq!(gathered, expect, "allgather payload, iter {iter}");
+        // allreduce: the fold must walk ranks in order across chunk
+        // boundaries — compare bit patterns of the same-order fold.
+        let total = ctx.allreduce_sum(1.0 / (rank as f64 + 3.0 + iter as f64)).await;
+        let mut reference = 1.0 / (3.0 + iter as f64);
+        for r in 1..size {
+            reference += 1.0 / (r as f64 + 3.0 + iter as f64);
+        }
+        assert_eq!(total.to_bits(), reference.to_bits(), "allreduce fold order, iter {iter}");
+        // broadcast / gather / scatter from a rotating root: indexing
+        // into a single chunk of the stitched round, with a different
+        // payload type per collective so the recycled deposit slabs are
+        // exercised across `TypeId`s.
+        let root = (iter as usize + 1) % size;
+        let word = ctx.broadcast(root, (rank == root).then(|| iter * 7 + 1), 8).await;
+        assert_eq!(word, iter * 7 + 1, "broadcast payload, iter {iter}");
+        let gathered = ctx.gather(root, (rank as u32, iter as u32), 8).await;
+        assert_eq!(gathered.is_some(), rank == root);
+        if let Some(values) = gathered {
+            let expect: Vec<(u32, u32)> = (0..size as u32).map(|r| (r, iter as u32)).collect();
+            assert_eq!(values, expect, "gather payload, iter {iter}");
+        }
+        let seed: Option<Vec<i64>> =
+            (rank == root).then(|| (0..size as i64).map(|r| r * 100 - iter as i64).collect());
+        let mine = ctx.scatter(root, seed, 8).await;
+        assert_eq!(mine, rank as i64 * 100 - iter as i64, "scatter payload, iter {iter}");
+        ctx.barrier().await;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized chunked-vs-monolithic payload equivalence: `ranks` drawn
+    /// from a non-power-of-two-rich range (the `S = 7` leg regularly
+    /// leaves a ragged last shard) across all three backends. The body
+    /// asserts exact payloads internally; any failure panics the run.
+    #[test]
+    fn collective_payloads_survive_chunked_assembly(
+        ranks in 2usize..24,
+        workers in 1usize..4,
+        rounds in 2u64..5,
+        extra_shards in 1usize..32,
+    ) {
+        let mut sweep = shard_sweep(ranks);
+        sweep.push(extra_shards);
+        for backend in [Backend::Threaded, Backend::Sequential, Backend::Parallel] {
+            for &shards in &sweep {
+                let config = RunConfig::new(ranks)
+                    .with_backend(backend)
+                    .with_workers(workers)
+                    .with_hub_shards(shards);
+                run(config, move |ctx| payload_body(ctx, rounds));
+            }
+        }
+    }
+}
+
 /// The acceptance-criterion scale: `P = 128` across the full
 /// `S ∈ {1, 2, 7, 128} × backend` matrix (7 leaves a ragged last shard:
 /// 128 = 6·19 + 14).
