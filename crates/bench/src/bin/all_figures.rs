@@ -2,9 +2,13 @@
 //! `ULBA_QUICK=1` for a fast smoke pass; `--backend <threaded|sequential>`
 //! selects the runtime backend for every erosion study.
 use ulba_bench::figures::{self, MEDIAN_SEEDS, PAPER_PE_COUNTS};
-use ulba_bench::output::{apply_cli_backend, env_usize, quick_mode, results_dir};
+use ulba_bench::output::{
+    apply_cli_backend, enforce_cli_flags, env_usize, quick_mode, results_dir, EROSION_STUDY_FLAGS,
+    SMOKE_FLAGS,
+};
 
 fn main() {
+    enforce_cli_flags(EROSION_STUDY_FLAGS, SMOKE_FLAGS);
     apply_cli_backend();
     let started = std::time::Instant::now();
     let n = env_usize("ULBA_INSTANCES", if quick_mode() { 100 } else { 1000 });

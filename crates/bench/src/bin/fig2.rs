@@ -1,7 +1,8 @@
 //! Regenerates Fig. 2 (σ⁺ vs simulated-annealing schedule quality).
-use ulba_bench::output::{env_usize, quick_mode};
+use ulba_bench::output::{enforce_cli_flags, env_usize, quick_mode, SMOKE_FLAGS};
 
 fn main() {
+    enforce_cli_flags(&[], SMOKE_FLAGS);
     let n = env_usize("ULBA_INSTANCES", if quick_mode() { 100 } else { 1000 });
     let steps = env_usize("ULBA_SA_STEPS", if quick_mode() { 5_000 } else { 20_000 });
     ulba_bench::figures::fig2::run(n, steps as u64, 2019);

@@ -1,7 +1,8 @@
 //! Regenerates Fig. 3 (ULBA gain by overloading percentage).
-use ulba_bench::output::{env_usize, quick_mode};
+use ulba_bench::output::{enforce_cli_flags, env_usize, quick_mode, SMOKE_FLAGS};
 
 fn main() {
+    enforce_cli_flags(&[], SMOKE_FLAGS);
     let n = env_usize("ULBA_INSTANCES", if quick_mode() { 100 } else { 1000 });
     let alphas = env_usize("ULBA_ALPHA_SAMPLES", 100);
     ulba_bench::figures::fig3::run(n, alphas as u32, 2019);

@@ -9,9 +9,13 @@
 //! `--smoke` (or `ULBA_QUICK=1`) shrinks the base sweep; `--json <path>`
 //! overrides the report location.
 use ulba_bench::figures::job_server;
-use ulba_bench::output::{apply_cli_backend, cli_ranks, env_usize, json_report_path, quick_mode};
+use ulba_bench::output::{
+    apply_cli_backend, cli_ranks, enforce_cli_flags, env_usize, json_report_path, quick_mode,
+    EROSION_STUDY_FLAGS, SMOKE_FLAGS,
+};
 
 fn main() {
+    enforce_cli_flags(EROSION_STUDY_FLAGS, SMOKE_FLAGS);
     // Exports --workers as ULBA_WORKERS; the study reads it back below.
     // (--backend is ignored here: the comparison is about the pool, so
     // every job pins the parallel backend.)

@@ -1,7 +1,8 @@
 //! Regenerates Table II (parameter-distribution validation).
-use ulba_bench::output::{env_usize, quick_mode};
+use ulba_bench::output::{enforce_cli_flags, env_usize, quick_mode, SMOKE_FLAGS};
 
 fn main() {
+    enforce_cli_flags(&[], SMOKE_FLAGS);
     let n = env_usize("ULBA_INSTANCES", if quick_mode() { 100 } else { 1000 });
     ulba_bench::figures::table2::run(n, 2019);
 }

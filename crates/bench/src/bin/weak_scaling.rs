@@ -20,10 +20,13 @@
 use ulba_bench::figures::weak_scaling::{self, WEAK_SCALING_PE_COUNTS};
 use ulba_bench::output::{
     apply_cli_backend, cli_backend, cli_backends, cli_gossip_wire, cli_json_path, cli_ranks,
-    quick_mode,
+    enforce_cli_flags, quick_mode, EROSION_STUDY_FLAGS, SMOKE_FLAGS,
 };
 
 fn main() {
+    let mut flags = EROSION_STUDY_FLAGS.to_vec();
+    flags.extend(["--backends", "--gossip-wire"]);
+    enforce_cli_flags(&flags, SMOKE_FLAGS);
     // Exports --workers as ULBA_WORKERS (and --backend as ULBA_BACKEND) so
     // the runtime picks them up; the per-run backend below still wins.
     apply_cli_backend();

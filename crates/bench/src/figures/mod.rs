@@ -9,6 +9,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod job_server;
+pub mod scenarios;
 pub mod table2;
 pub mod weak_scaling;
 

@@ -1,0 +1,336 @@
+//! Adversarial-scenario policy sweep: every generator family (slow node,
+//! scatter, drifting hotspot, bursty, task graph) crossed with the LB
+//! policies and gossip wire formats, batched on one shared
+//! [`JobServer`] and recorded in `results/BENCH_scenarios.json`.
+//!
+//! Three claims are checked on every invocation:
+//!
+//! * **λ fidelity** — each scenario's achieved imbalance factor (verified
+//!   analytically by the generator) stays within 5% of the requested
+//!   target, and both values land in the report rows;
+//! * **backend/shard invariance** — every parallel row is asserted
+//!   bit-identical to its sequential twin in the grid, and one ULBA leg
+//!   per family is additionally re-run serially with a different
+//!   hub-shard count;
+//! * **perf trajectory** — `gate_pes` appends the erosion weak-scaling
+//!   smoke legs (standard + ULBA per PE count) whose virtual makespans the
+//!   CI gate compares against the committed `results/BENCH_seed.json`
+//!   baseline, proving the scenario batch shares the pool without
+//!   perturbing the seed numbers.
+
+use crate::output::{
+    json_f64, peak_rss_bytes, perf_row, print_table, write_schema3_report, PerfRow,
+};
+use std::path::Path;
+use std::time::Instant;
+use ulba_core::gossip::GossipWire;
+use ulba_core::policy::LbPolicy;
+use ulba_erosion::run_erosion_batch;
+use ulba_runtime::{Backend, JobServer};
+use ulba_scenario::config::TriggerKind;
+use ulba_scenario::{
+    run_scenario, run_scenario_batch, submit_scenario, ScenarioConfig, ScenarioKind,
+    ScenarioResult, LAMBDA_TOLERANCE,
+};
+
+/// Summary of one scenario sweep.
+#[derive(Debug, Clone)]
+pub struct ScenariosReport {
+    /// Number of jobs in the batched sweep (scenario grid + gate legs).
+    pub jobs: usize,
+    /// Wall time of the batched pass, in seconds.
+    pub batch_wall_s: f64,
+    /// Schema-3 rows (scenario rows carry `lambda_target`/`lambda_achieved`).
+    pub rows: Vec<PerfRow>,
+}
+
+/// The policy arms of the sweep.
+fn policies() -> [(&'static str, LbPolicy); 2] {
+    [("standard", LbPolicy::Standard), ("ulba-fixed:0.4", LbPolicy::ulba_fixed(0.4))]
+}
+
+/// The backend arms of the sweep: the parallel arm goes through the
+/// shared pool; the sequential arm is deferred by `submit_scenario` and
+/// runs serially at join, inside the same batch call.
+const BACKENDS: [(&str, Backend); 2] =
+    [("parallel", Backend::Parallel), ("sequential", Backend::Sequential)];
+
+/// The scenario grid: every family × policy × wire × backend (backend
+/// innermost, so each parallel row sits next to its sequential twin).
+/// `wire_override` restricts the wire dimension (the `--gossip-wire`
+/// flag).
+fn scenario_sweep(
+    smoke: bool,
+    wire_override: Option<GossipWire>,
+) -> Vec<(String, &'static str, ScenarioConfig)> {
+    let ranks = if smoke { 8 } else { 64 };
+    let wires: Vec<GossipWire> = match wire_override {
+        Some(wire) => vec![wire],
+        None => vec![GossipWire::Full, GossipWire::Delta { full_every: 32 }],
+    };
+    let mut specs = Vec::new();
+    for kind in ScenarioKind::ALL {
+        for (plabel, policy) in policies() {
+            for &wire in &wires {
+                for (blabel, backend) in BACKENDS {
+                    let mut cfg = if smoke {
+                        ScenarioConfig::tiny(kind, ranks)
+                    } else {
+                        ScenarioConfig::new(kind, ranks)
+                    };
+                    cfg.policy = policy;
+                    cfg.gossip_wire = wire;
+                    cfg.backend = Some(backend);
+                    // The Zhai trigger reacts to *degradation* w.r.t. the
+                    // first iteration; these scenarios are adversarial from
+                    // iteration 0, so it would never bootstrap. Drive the
+                    // LB periodically instead, deliberately misaligned with
+                    // the phase length (1.5×) so the WIR window spans phase
+                    // boundaries — that is where the load *steps* live that
+                    // the ULBA arm's z-scores can anticipate; an aligned
+                    // period resets the window right at every boundary and
+                    // blinds both arms equally.
+                    cfg.trigger = TriggerKind::Periodic(cfg.phase_len + cfg.phase_len / 2);
+                    specs.push((format!("{}+{plabel}", kind.name()), blabel, cfg));
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Build a schema-3 row from one scenario result (the scenario analogue of
+/// [`perf_row`], with the generator's λ accounting attached).
+fn scenario_row(
+    backend: &str,
+    label: &str,
+    pes: usize,
+    gossip_wire: &str,
+    res: &ScenarioResult,
+    sim_wall_s: f64,
+) -> PerfRow {
+    let busy: Vec<f64> = res.rank_metrics.iter().map(|m| m.busy).collect();
+    let busy_mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+    let busy_max_over_mean =
+        if busy_mean > 0.0 { busy.iter().copied().fold(0.0f64, f64::max) / busy_mean } else { 1.0 };
+    let total: f64 = res.rank_metrics.iter().map(|m| m.total()).sum();
+    let idle_fraction = if total > 0.0 {
+        res.rank_metrics.iter().map(|m| m.idle).sum::<f64>() / total
+    } else {
+        0.0
+    };
+    PerfRow {
+        backend: backend.to_string(),
+        pes,
+        policy: label.to_string(),
+        hub_shards: res.hub_shards,
+        gossip_wire: gossip_wire.to_string(),
+        sim_wall_s,
+        makespan_virtual_s: res.makespan,
+        lb_calls: res.lb_calls,
+        mean_utilization: res.mean_utilization,
+        busy_max_over_mean,
+        idle_fraction,
+        db_entries_total: res.db_entries_total,
+        peak_rss_bytes: peak_rss_bytes(),
+        lambda_target: Some(res.lambda_target),
+        lambda_achieved: Some(res.lambda_achieved),
+    }
+}
+
+fn assert_identical(label: &str, a: &ScenarioResult, b: &ScenarioResult) {
+    assert_eq!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "[{label}] makespan diverged across backend/shards: {} vs {}",
+        a.makespan,
+        b.makespan
+    );
+    assert_eq!(a.lb_iterations, b.lb_iterations, "[{label}] LB schedule diverged");
+    assert_eq!(a.total_work_units, b.total_work_units, "[{label}] work diverged");
+    assert_eq!(a.traffic_checksum, b.traffic_checksum, "[{label}] traffic diverged");
+    assert_eq!(a.db_entries_total, b.db_entries_total, "[{label}] db footprint diverged");
+}
+
+/// Run the scenario sweep. `workers` sizes the shared pool (0 = all
+/// cores); `gate_pes` appends the erosion weak-scaling drift-gate legs;
+/// `wire_override` restricts the wire dimension; `json` writes
+/// `BENCH_scenarios.json` (schema 3 plus `jobs` and `batch_wall_s`
+/// summary keys).
+pub fn run(
+    workers: usize,
+    gate_pes: &[usize],
+    smoke: bool,
+    wire_override: Option<GossipWire>,
+    json: Option<&Path>,
+) -> ScenariosReport {
+    let specs = scenario_sweep(smoke, wire_override);
+    println!(
+        "Scenario study — {} scenario jobs ({} families × {} policies × wires × {} backends){}",
+        specs.len(),
+        ScenarioKind::ALL.len(),
+        policies().len(),
+        BACKENDS.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let shared = JobServer::new(workers);
+    // Untimed warmup primes the process heap before the timed batch.
+    {
+        let mut warm = specs[0].2.clone();
+        warm.iterations = 1;
+        warm.backend = Some(Backend::Parallel);
+        let _ = submit_scenario(&shared, &warm).join();
+    }
+
+    // Parallel arms share the pool; sequential arms keep their explicit
+    // backend and are deferred to serial execution by the same batch call.
+    let cfgs: Vec<ScenarioConfig> =
+        specs.iter().map(|(_, _, cfg)| cfg.clone().with_server(shared.clone())).collect();
+    let batch_started = Instant::now();
+    let results = run_scenario_batch(&cfgs);
+    let mut batch_wall_s = batch_started.elapsed().as_secs_f64();
+
+    // λ fidelity: the generator already asserts this at build time; the
+    // study re-checks the *reported* values so a row can never drift from
+    // the construction invariant.
+    for ((label, blabel, cfg), res) in specs.iter().zip(&results) {
+        assert!(
+            (res.lambda_achieved - res.lambda_target).abs() <= LAMBDA_TOLERANCE * res.lambda_target,
+            "[{label}/{blabel}] achieved λ {} strays from target {}",
+            res.lambda_achieved,
+            res.lambda_target
+        );
+        assert_eq!(res.lambda_target, cfg.lambda, "[{label}/{blabel}] target λ mangled in flight");
+    }
+
+    // Backend invariance: every parallel row must be bit-identical to its
+    // sequential twin (adjacent in the grid — backend is the innermost
+    // dimension).
+    for (pair, twin_res) in specs.chunks(2).zip(results.chunks(2)) {
+        assert_eq!(pair[0].0, pair[1].0, "grid ordering broke: backend must be innermost");
+        assert_identical(&pair[0].0, &twin_res[0], &twin_res[1]);
+    }
+
+    // Shard invariance: one ULBA leg per family, re-run serially with a
+    // different hub-shard count.
+    for (i, ((label, _, cfg), batched)) in specs.iter().zip(&results).enumerate() {
+        if !label.ends_with("ulba-fixed:0.4") || i % (2 * BACKENDS.len()) != 0 {
+            continue;
+        }
+        let mut check = cfg.clone();
+        check.server = None;
+        check.backend = Some(Backend::Sequential);
+        check.hub_shards = Some(3);
+        let serial = run_scenario(&check);
+        assert_identical(label, batched, &serial);
+    }
+
+    // The erosion weak-scaling drift-gate legs, batched on the same pool.
+    let mut gate_rows: Vec<PerfRow> = Vec::new();
+    if !gate_pes.is_empty() {
+        let mut gate_specs = Vec::new();
+        for &ranks in gate_pes {
+            for (label, policy) in
+                [("standard", LbPolicy::Standard), ("ulba", LbPolicy::ulba_fixed(0.4))]
+            {
+                let mut cfg =
+                    super::weak_scaling::config_for(ranks, policy, GossipWire::default(), smoke);
+                cfg.backend = Some(Backend::Parallel);
+                cfg.server = Some(shared.clone());
+                gate_specs.push((label, ranks, cfg));
+            }
+        }
+        let gate_started = Instant::now();
+        let gate_results = run_erosion_batch(
+            &gate_specs.iter().map(|(_, _, cfg)| cfg.clone()).collect::<Vec<_>>(),
+        );
+        batch_wall_s += gate_started.elapsed().as_secs_f64();
+        for ((label, ranks, cfg), res) in gate_specs.iter().zip(&gate_results) {
+            gate_rows.push(perf_row(
+                "parallel",
+                label,
+                *ranks,
+                &cfg.gossip_wire.to_string(),
+                res,
+                batch_wall_s,
+            ));
+        }
+    }
+
+    let mut rows: Vec<PerfRow> = specs
+        .iter()
+        .zip(&results)
+        .map(|((label, blabel, cfg), res)| {
+            scenario_row(blabel, label, cfg.ranks, &cfg.gossip_wire.to_string(), res, batch_wall_s)
+        })
+        .collect();
+    rows.append(&mut gate_rows);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.backend.clone(),
+                r.pes.to_string(),
+                r.gossip_wire.clone(),
+                r.lambda_target.map_or_else(|| "-".into(), |l| format!("{l:.2}")),
+                r.lambda_achieved.map_or_else(|| "-".into(), |l| format!("{l:.3}")),
+                format!("{:.4}", r.makespan_virtual_s),
+                r.lb_calls.to_string(),
+                r.db_entries_total.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "scenario sweep (batched, λ verified, backend/shard invariant)",
+        &[
+            "scenario",
+            "backend",
+            "PEs",
+            "wire",
+            "λ target",
+            "λ achieved",
+            "makespan [s]",
+            "LB",
+            "db entries",
+        ],
+        &table,
+    );
+    println!("\n{} jobs batched in {batch_wall_s:.2}s on one shared pool", rows.len());
+
+    if let Some(path) = json {
+        let summary = [("jobs", rows.len().to_string()), ("batch_wall_s", json_f64(batch_wall_s))];
+        write_schema3_report("scenarios", smoke, &summary, &rows, path);
+    }
+    ScenariosReport { jobs: rows.len(), batch_wall_s, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_reports_lambda_and_verifies_invariance() {
+        std::env::set_var("ULBA_RESULTS", std::env::temp_dir().join("ulba-scenarios-test"));
+        let json = std::env::temp_dir().join("ulba-scenarios-test").join("BENCH_scenarios.json");
+        // run() hard-asserts λ fidelity and backend/shard bit-identity.
+        let report = run(2, &[], true, None, Some(&json));
+        assert_eq!(report.jobs, 40, "5 families × 2 policies × 2 wires × 2 backends");
+        assert!(report.rows.iter().all(|r| r.lambda_target.is_some()));
+        assert!(report.rows.iter().any(|r| r.backend == "sequential"));
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"study\": \"scenarios\""));
+        assert!(doc.contains("\"lambda_achieved\":"));
+        assert!(doc.contains("slow-node+ulba-fixed:0.4"));
+        std::env::remove_var("ULBA_RESULTS");
+    }
+
+    #[test]
+    fn wire_override_restricts_the_grid() {
+        let specs = scenario_sweep(true, Some(GossipWire::Full));
+        assert_eq!(specs.len(), 20, "5 families × 2 policies × 1 wire × 2 backends");
+        assert!(specs.iter().all(|(_, _, c)| c.gossip_wire == GossipWire::Full));
+    }
+}

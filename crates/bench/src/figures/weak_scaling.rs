@@ -276,6 +276,8 @@ pub fn write_json_report(rows: &[WeakScalingRow], smoke: bool, path: &Path) -> P
             idle_fraction: r.idle_fraction,
             db_entries_total: r.db_entries_total,
             peak_rss_bytes: r.peak_rss_bytes,
+            lambda_target: None,
+            lambda_achieved: None,
         })
         .collect();
     write_schema3_report("weak_scaling", smoke, &[], &rows, path)

@@ -75,6 +75,63 @@ pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Value-taking flags every erosion-driven study binary accepts (the
+/// `apply_cli_backend` + `cli_ranks` + `--json` set).
+pub const EROSION_STUDY_FLAGS: &[&str] =
+    &["--backend", "--workers", "--hub-shards", "--ranks", "--json"];
+
+/// Boolean flags every figure binary accepts.
+pub const SMOKE_FLAGS: &[&str] = &["--smoke"];
+
+/// Pure core of [`enforce_cli_flags`], testable without `process::exit`:
+/// check each argument of `args` (binary name already stripped) against the
+/// bin's known flags and return the first offender's diagnostic.
+///
+/// Catches the two silent-default holes `cli_value`'s scan leaves open: a
+/// typo'd flag *name* (`--gosip-wire delta`) matches nothing, and a
+/// value-taking flag as the last argument has no value — in both cases the
+/// `unwrap_or_default()` at the call site would quietly run the study with
+/// the default, which is exactly the wrong behavior for a benchmark.
+pub fn audit_args<I>(args: I, value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if bool_flags.contains(&arg.as_str()) {
+            continue;
+        }
+        if value_flags.contains(&arg.as_str()) {
+            if args.next().is_none() {
+                return Err(format!("flag `{arg}` is missing its value"));
+            }
+            continue;
+        }
+        if let Some((flag, _)) = arg.split_once('=') {
+            if value_flags.contains(&flag) {
+                continue;
+            }
+            if bool_flags.contains(&flag) {
+                return Err(format!("flag `{flag}` takes no value (got `{arg}`)"));
+            }
+        }
+        let known: Vec<&str> = value_flags.iter().chain(bool_flags).copied().collect();
+        return Err(format!("unknown argument `{arg}` (known flags: {})", known.join(", ")));
+    }
+    Ok(())
+}
+
+/// Abort with a usage message (exit 2) when argv strays outside the bin's
+/// known flag set — every figure binary calls this first, so an invalid
+/// flag fails fast with the offending string instead of silently becoming
+/// the default. See [`audit_args`] for what is checked.
+pub fn enforce_cli_flags(value_flags: &[&str], bool_flags: &[&str]) {
+    if let Err(err) = audit_args(std::env::args().skip(1), value_flags, bool_flags) {
+        eprintln!("{err}");
+        std::process::exit(2);
+    }
+}
+
 /// Value of a `--flag <value>` / `--flag=<value>` command-line option.
 fn cli_value(flag: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
@@ -216,6 +273,12 @@ pub struct PerfRow {
     /// Process peak RSS in bytes (`VmHWM`; `None` off Linux). Monotone
     /// over the process lifetime.
     pub peak_rss_bytes: Option<u64>,
+    /// Target per-iteration imbalance factor λ = max/mean of the workload
+    /// generator (scenario studies only; `None` elsewhere).
+    pub lambda_target: Option<f64>,
+    /// Achieved per-iteration λ of the generated work tables, verified
+    /// analytically by the generator (scenario studies only).
+    pub lambda_achieved: Option<f64>,
 }
 
 /// Build a [`PerfRow`] from one erosion experiment, deriving the
@@ -252,6 +315,8 @@ pub fn perf_row(
         idle_fraction,
         db_entries_total: res.db_entries_total,
         peak_rss_bytes: peak_rss_bytes(),
+        lambda_target: None,
+        lambda_achieved: None,
     }
 }
 
@@ -285,13 +350,23 @@ pub fn write_schema3_report(
     }
     doc.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        // Scenario rows carry the generator's target/achieved λ; other
+        // studies omit the keys so their row shape is unchanged.
+        let lambda = match (r.lambda_target, r.lambda_achieved) {
+            (None, None) => String::new(),
+            (t, a) => format!(
+                ", \"lambda_target\": {}, \"lambda_achieved\": {}",
+                t.map_or_else(|| "null".to_string(), json_f64),
+                a.map_or_else(|| "null".to_string(), json_f64),
+            ),
+        };
         doc.push_str(&format!(
             "    {{\"backend\": \"{}\", \"pes\": {}, \"policy\": \"{}\", \
              \"hub_shards\": {}, \"gossip_wire\": \"{}\", \
              \"sim_wall_s\": {}, \"makespan_virtual_s\": {}, \"lb_calls\": {}, \
              \"mean_utilization\": {}, \"busy_max_over_mean\": {}, \
              \"idle_fraction\": {}, \"db_entries_total\": {}, \
-             \"peak_rss_bytes\": {}}}{}\n",
+             \"peak_rss_bytes\": {}{lambda}}}{}\n",
             json_escape(&r.backend),
             r.pes,
             json_escape(&r.policy),
@@ -386,6 +461,39 @@ pub fn cli_ranks() -> Option<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn audit_accepts_known_flags_in_both_spellings() {
+        let value = ["--gossip-wire", "--ranks"];
+        audit_args(args(&["--gossip-wire", "delta", "--smoke"]), &value, SMOKE_FLAGS).unwrap();
+        audit_args(args(&["--gossip-wire=delta:4", "--ranks=8,16"]), &value, SMOKE_FLAGS).unwrap();
+        audit_args(args(&[]), &value, SMOKE_FLAGS).unwrap();
+    }
+
+    #[test]
+    fn audit_rejects_typoed_flag_with_the_offending_string() {
+        // Regression: `--gosip-wire delta` used to be silently ignored and
+        // the study ran on the default wire.
+        let err = audit_args(args(&["--gosip-wire", "delta"]), &["--gossip-wire"], SMOKE_FLAGS)
+            .unwrap_err();
+        assert!(err.contains("--gosip-wire"), "diagnostic must name the offender: {err}");
+        assert!(err.contains("--gossip-wire"), "diagnostic must list the known flags: {err}");
+    }
+
+    #[test]
+    fn audit_rejects_missing_value_and_stray_positionals() {
+        let value = ["--ranks"];
+        let err = audit_args(args(&["--ranks"]), &value, SMOKE_FLAGS).unwrap_err();
+        assert!(err.contains("missing its value"), "{err}");
+        let err = audit_args(args(&["detla"]), &value, SMOKE_FLAGS).unwrap_err();
+        assert!(err.contains("detla"), "{err}");
+        let err = audit_args(args(&["--smoke=1"]), &value, SMOKE_FLAGS).unwrap_err();
+        assert!(err.contains("takes no value"), "{err}");
+    }
 
     #[test]
     fn bar_renders_fraction() {

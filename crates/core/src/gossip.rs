@@ -162,6 +162,22 @@ impl GossipWire {
     pub fn delta() -> Self {
         GossipWire::Delta { full_every: Self::DEFAULT_FULL_EVERY }
     }
+
+    /// Hard config validation: reject `Delta { full_every: 0 }`.
+    ///
+    /// `FromStr` already refuses `delta:0`, but configs can also be built
+    /// programmatically or deserialized; this is the single check every
+    /// config `validate()` routes through, mirroring the `random_peers`
+    /// fill assert — a release build must fail loudly, not skip
+    /// anti-entropy forever.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            GossipWire::Delta { full_every: 0 } => {
+                Err("gossip wire delta:0 is invalid (anti-entropy period must be ≥ 1)".into())
+            }
+            _ => Ok(()),
+        }
+    }
 }
 
 impl Default for GossipWire {
@@ -240,8 +256,16 @@ impl GossipOutbox {
         match wire {
             GossipWire::Full => db.snapshot(),
             GossipWire::Delta { full_every } => {
-                debug_assert!(full_every >= 1, "anti-entropy period must be ≥ 1");
-                let anti_entropy = round.is_multiple_of(full_every.max(1));
+                // Hard in every profile: `full_every = 0` would divide by
+                // zero below, and the old `debug_assert!` + `.max(1)` mask
+                // let release builds silently reinterpret `delta:0` as
+                // `delta:1`. Configs are validated up front
+                // ([`GossipWire::validate`]); reaching this with 0 is a bug.
+                assert!(
+                    full_every >= 1,
+                    "anti-entropy period must be ≥ 1 (got delta:{full_every})"
+                );
+                let anti_entropy = round.is_multiple_of(full_every);
                 let since =
                     if anti_entropy { 0 } else { self.watermarks.get(&peer).copied().unwrap_or(0) };
                 let payload = db.delta_since(since);
@@ -456,6 +480,24 @@ mod tests {
                 assert_eq!(hybrid.len(), size - 1, "size {size} round {round} (hybrid)");
             }
         }
+    }
+
+    #[test]
+    fn wire_validate_rejects_zero_anti_entropy_period() {
+        assert!(GossipWire::Delta { full_every: 0 }.validate().is_err());
+        assert!(GossipWire::Delta { full_every: 1 }.validate().is_ok());
+        assert!(GossipWire::delta().validate().is_ok());
+        assert!(GossipWire::Full.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "anti-entropy period must be ≥ 1")]
+    fn outbox_panics_on_zero_period_in_every_profile() {
+        // Regression: this used to be a debug_assert plus a `.max(1)` mask,
+        // so release builds silently ran `delta:0` as `delta:1`.
+        let db = WirDatabase::new(2);
+        let mut outbox = GossipOutbox::new();
+        let _ = outbox.message(&db, 1, 0, GossipWire::Delta { full_every: 0 });
     }
 
     #[test]

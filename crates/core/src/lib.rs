@@ -73,7 +73,8 @@ pub use partition::{partition_by_shares, partition_evenly, Partition};
 pub use policy::{AlphaRule, LbPolicy, UlbaConfig};
 pub use shares::{compute_shares, ShareDecision};
 pub use trigger::{
-    LbCostModel, LbTrigger, MenonTrigger, NeverTrigger, PeriodicTrigger, ZhaiTrigger,
+    AnyTrigger, LbCostModel, LbTrigger, MenonTrigger, NeverTrigger, PeriodicTrigger, TriggerKind,
+    ZhaiTrigger,
 };
 pub use wir::WirEstimator;
 
@@ -87,7 +88,8 @@ pub mod prelude {
     pub use crate::policy::{AlphaRule, LbPolicy, UlbaConfig};
     pub use crate::shares::{compute_shares, ShareDecision};
     pub use crate::trigger::{
-        LbCostModel, LbTrigger, MenonTrigger, NeverTrigger, PeriodicTrigger, ZhaiTrigger,
+        AnyTrigger, LbCostModel, LbTrigger, MenonTrigger, NeverTrigger, PeriodicTrigger,
+        TriggerKind, ZhaiTrigger,
     };
     pub use crate::wir::WirEstimator;
 }

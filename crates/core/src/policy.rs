@@ -3,7 +3,8 @@
 //! announced future work, provided here as an extension for the ablation
 //! study E-A2).
 
-use crate::outlier::{DetectionStat, DEFAULT_Z_THRESHOLD};
+use crate::db::WirDatabase;
+use crate::outlier::{robust_z_scores, z_from, z_params, DetectionStat, DEFAULT_Z_THRESHOLD};
 use serde::{Deserialize, Serialize};
 
 /// How an overloading PE picks its α when calling the load balancer.
@@ -152,6 +153,63 @@ impl std::str::FromStr for LbPolicy {
             )),
         }
     }
+}
+
+/// Outlier score of `rank` for the policy's configured detection statistic
+/// in the dense WIR population implied by the database (unknown ranks
+/// default to 0.0). The paper's plain z-score streams over the known
+/// entries — bit-identical to scoring a materialized dense vector, without
+/// allocating one; the median/MAD robust variant still sorts a dense copy
+/// (it needs the order statistics anyway). Shared by every workload that
+/// consumes a policy (erosion, synthetic scenarios).
+pub fn outlier_score(policy: &LbPolicy, db: &WirDatabase, rank: usize) -> f64 {
+    match policy {
+        LbPolicy::Ulba(cfg) if cfg.stat == DetectionStat::RobustZScore => {
+            robust_z_scores(&db.wirs_or(0.0))[rank]
+        }
+        _ => {
+            let (m, sd) = z_params(db.wirs_iter(0.0), db.size());
+            z_from(db.get(rank).map_or(0.0, |e| e.wir), m, sd)
+        }
+    }
+}
+
+/// Count and sum the positive α of a z-score stream (rank order).
+fn fold_alphas(zs: impl Iterator<Item = f64>, cfg: &UlbaConfig) -> (usize, f64) {
+    zs.fold((0usize, 0.0f64), |(n, sum), z| {
+        let a = cfg.alpha_for(z);
+        if a > 0.0 {
+            (n + 1, sum + a)
+        } else {
+            (n, sum)
+        }
+    })
+}
+
+/// ULBA overhead anticipated for the next LB step (Eq. (11)), estimated on
+/// rank 0 from its gossip database: `ᾱ·N̂/(P − N̂) · Wtot/(ω·P)`. Zero for
+/// the standard policy and when no (or every) PE looks overloading.
+pub fn estimate_ulba_overhead(
+    policy: &LbPolicy,
+    db: &WirDatabase,
+    wtot_flops: f64,
+    omega: f64,
+    p: usize,
+) -> f64 {
+    let LbPolicy::Ulba(cfg) = policy else {
+        return 0.0;
+    };
+    let (n_hat, alpha_sum) = if cfg.stat == DetectionStat::RobustZScore {
+        fold_alphas(robust_z_scores(&db.wirs_or(0.0)).into_iter(), cfg)
+    } else {
+        let (m, sd) = z_params(db.wirs_iter(0.0), db.size());
+        fold_alphas(db.wirs_iter(0.0).map(|w| z_from(w, m, sd)), cfg)
+    };
+    if n_hat == 0 || n_hat >= p {
+        return 0.0;
+    }
+    let alpha_bar = alpha_sum / n_hat as f64;
+    alpha_bar * n_hat as f64 / (p - n_hat) as f64 * wtot_flops / (omega * p as f64)
 }
 
 #[cfg(test)]

@@ -254,6 +254,95 @@ impl LbTrigger for NeverTrigger {
     }
 }
 
+/// Which adaptive trigger drives LB activation — the config-level selector
+/// shared by every workload (erosion, synthetic scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TriggerKind {
+    /// The Zhai et al. cumulative-degradation trigger (the paper's choice).
+    Zhai,
+    /// The Menon fixed-interval trigger re-estimated online (ablation).
+    Menon {
+        /// Fallback/maximum interval in iterations.
+        max_interval: u64,
+    },
+    /// Balance every `period` iterations (ablation).
+    Periodic(u64),
+    /// Never balance (static baseline).
+    Never,
+}
+
+impl TriggerKind {
+    /// Instantiate the trigger, seeding adaptive variants' LB-cost model
+    /// with `initial_cost` seconds.
+    pub fn build(self, initial_cost: f64) -> AnyTrigger {
+        match self {
+            TriggerKind::Zhai => AnyTrigger::Zhai(ZhaiTrigger::new(
+                LbCostModel::default().with_initial(initial_cost),
+            )),
+            TriggerKind::Menon { max_interval } => AnyTrigger::Menon(MenonTrigger::new(
+                LbCostModel::default().with_initial(initial_cost),
+                max_interval,
+            )),
+            TriggerKind::Periodic(p) => AnyTrigger::Periodic(PeriodicTrigger::new(p)),
+            TriggerKind::Never => AnyTrigger::Never(NeverTrigger),
+        }
+    }
+}
+
+/// Enum dispatch over the trigger implementations — what an application's
+/// rank 0 holds when the trigger choice is a runtime config value. Cheaper
+/// and `Clone`-friendlier than a `Box<dyn LbTrigger>`, and it exposes the
+/// Zhai-only overhead hook without downcasting.
+pub enum AnyTrigger {
+    /// [`ZhaiTrigger`].
+    Zhai(ZhaiTrigger),
+    /// [`MenonTrigger`].
+    Menon(MenonTrigger),
+    /// [`PeriodicTrigger`].
+    Periodic(PeriodicTrigger),
+    /// [`NeverTrigger`].
+    Never(NeverTrigger),
+}
+
+impl AnyTrigger {
+    /// Forward the ULBA overhead estimate (Eq. (11)) to the Zhai trigger;
+    /// the other triggers do not consume it.
+    pub fn set_overhead_estimate(&mut self, overhead: f64) {
+        if let AnyTrigger::Zhai(t) = self {
+            t.set_overhead_estimate(overhead);
+        }
+    }
+}
+
+impl LbTrigger for AnyTrigger {
+    fn observe(&mut self, iter: u64, iter_time: f64) -> bool {
+        match self {
+            AnyTrigger::Zhai(t) => t.observe(iter, iter_time),
+            AnyTrigger::Menon(t) => t.observe(iter, iter_time),
+            AnyTrigger::Periodic(t) => t.observe(iter, iter_time),
+            AnyTrigger::Never(t) => t.observe(iter, iter_time),
+        }
+    }
+
+    fn lb_completed(&mut self, iter: u64, measured_cost: f64) {
+        match self {
+            AnyTrigger::Zhai(t) => t.lb_completed(iter, measured_cost),
+            AnyTrigger::Menon(t) => t.lb_completed(iter, measured_cost),
+            AnyTrigger::Periodic(t) => t.lb_completed(iter, measured_cost),
+            AnyTrigger::Never(t) => t.lb_completed(iter, measured_cost),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyTrigger::Zhai(t) => t.name(),
+            AnyTrigger::Menon(t) => t.name(),
+            AnyTrigger::Periodic(t) => t.name(),
+            AnyTrigger::Never(t) => t.name(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

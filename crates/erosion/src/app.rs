@@ -24,7 +24,9 @@
 //! bit-identical for the same config — batching is purely a wall-time
 //! optimization.
 
-use crate::config::{ErosionConfig, TriggerKind};
+use crate::config::ErosionConfig;
+#[cfg(test)]
+use crate::config::TriggerKind;
 use crate::erode::erosion_step;
 use crate::geometry::Geometry;
 use crate::stripe::{exchange_halos_reusing, migrate, HaloScratch, Stripe};
@@ -39,12 +41,12 @@ use std::sync::Arc;
 use ulba_core::balancer::centralized_rebalance;
 use ulba_core::db::{wire_bytes, WirDatabase, WirEntry};
 use ulba_core::gossip::{select_peers, GossipOutbox};
-use ulba_core::outlier::{robust_z_scores, z_from, z_params, z_scores, DetectionStat};
+use ulba_core::outlier::z_scores;
 use ulba_core::partition::{predicted_weights, Partition};
-use ulba_core::policy::{LbPolicy, UlbaConfig};
-use ulba_core::trigger::{
-    LbCostModel, LbTrigger, MenonTrigger, NeverTrigger, PeriodicTrigger, ZhaiTrigger,
-};
+#[cfg(test)]
+use ulba_core::policy::LbPolicy;
+use ulba_core::policy::{estimate_ulba_overhead, outlier_score};
+use ulba_core::trigger::{AnyTrigger, LbTrigger};
 use ulba_core::wir::WirEstimator;
 use ulba_runtime::{
     run, Backend, IterationStats, JobHandle, JobServer, MachineSpec, RankMetrics, RunConfig,
@@ -108,108 +110,6 @@ pub fn choose_strong_rocks(cfg: &ErosionConfig) -> Vec<usize> {
     strong
 }
 
-enum AppTrigger {
-    Zhai(ZhaiTrigger),
-    Menon(MenonTrigger),
-    Periodic(PeriodicTrigger),
-    Never(NeverTrigger),
-}
-
-impl AppTrigger {
-    fn build(kind: TriggerKind, initial_cost: f64) -> Self {
-        match kind {
-            TriggerKind::Zhai => AppTrigger::Zhai(ZhaiTrigger::new(
-                LbCostModel::default().with_initial(initial_cost),
-            )),
-            TriggerKind::Menon { max_interval } => AppTrigger::Menon(MenonTrigger::new(
-                LbCostModel::default().with_initial(initial_cost),
-                max_interval,
-            )),
-            TriggerKind::Periodic(p) => AppTrigger::Periodic(PeriodicTrigger::new(p)),
-            TriggerKind::Never => AppTrigger::Never(NeverTrigger),
-        }
-    }
-
-    fn observe(&mut self, iter: u64, t: f64) -> bool {
-        match self {
-            AppTrigger::Zhai(t0) => t0.observe(iter, t),
-            AppTrigger::Menon(t0) => t0.observe(iter, t),
-            AppTrigger::Periodic(t0) => t0.observe(iter, t),
-            AppTrigger::Never(t0) => t0.observe(iter, t),
-        }
-    }
-
-    fn lb_completed(&mut self, iter: u64, cost: f64) {
-        match self {
-            AppTrigger::Zhai(t) => t.lb_completed(iter, cost),
-            AppTrigger::Menon(t) => t.lb_completed(iter, cost),
-            AppTrigger::Periodic(t) => t.lb_completed(iter, cost),
-            AppTrigger::Never(t) => t.lb_completed(iter, cost),
-        }
-    }
-
-    fn set_overhead_estimate(&mut self, overhead: f64) {
-        if let AppTrigger::Zhai(t) = self {
-            t.set_overhead_estimate(overhead);
-        }
-    }
-}
-
-/// Outlier score of `rank` for the policy's configured detection statistic
-/// in the dense WIR population implied by the database (unknown ranks
-/// default to 0.0). The paper's plain z-score streams over the known
-/// entries — bit-identical to scoring a materialized dense vector, without
-/// allocating one; the median/MAD robust variant still sorts a dense copy
-/// (it needs the order statistics anyway).
-fn my_score(policy: &LbPolicy, db: &WirDatabase, rank: usize) -> f64 {
-    match policy {
-        LbPolicy::Ulba(cfg) if cfg.stat == DetectionStat::RobustZScore => {
-            robust_z_scores(&db.wirs_or(0.0))[rank]
-        }
-        _ => {
-            let (m, sd) = z_params(db.wirs_iter(0.0), db.size());
-            z_from(db.get(rank).map_or(0.0, |e| e.wir), m, sd)
-        }
-    }
-}
-
-/// Count and sum the positive α of a z-score stream (rank order).
-fn fold_alphas(zs: impl Iterator<Item = f64>, cfg: &UlbaConfig) -> (usize, f64) {
-    zs.fold((0usize, 0.0f64), |(n, sum), z| {
-        let a = cfg.alpha_for(z);
-        if a > 0.0 {
-            (n + 1, sum + a)
-        } else {
-            (n, sum)
-        }
-    })
-}
-
-/// ULBA overhead anticipated for the next LB step (Eq. (11)), estimated on
-/// rank 0 from its gossip database: `ᾱ·N̂/(P − N̂) · Wtot/(ω·P)`.
-fn estimate_overhead(
-    policy: &LbPolicy,
-    db: &WirDatabase,
-    wtot_flops: f64,
-    omega: f64,
-    p: usize,
-) -> f64 {
-    let LbPolicy::Ulba(cfg) = policy else {
-        return 0.0;
-    };
-    let (n_hat, alpha_sum) = if cfg.stat == DetectionStat::RobustZScore {
-        fold_alphas(robust_z_scores(&db.wirs_or(0.0)).into_iter(), cfg)
-    } else {
-        let (m, sd) = z_params(db.wirs_iter(0.0), db.size());
-        fold_alphas(db.wirs_iter(0.0).map(|w| z_from(w, m, sd)), cfg)
-    };
-    if n_hat == 0 || n_hat >= p {
-        return 0.0;
-    }
-    let alpha_bar = alpha_sum / n_hat as f64;
-    alpha_bar * n_hat as f64 / (p - n_hat) as f64 * wtot_flops / (omega * p as f64)
-}
-
 /// Out-of-band measurements a run records on its way out: rank 0's final
 /// physics totals and every rank's database-footprint contribution. A side
 /// channel, not a collective: it must not perturb the virtual-time
@@ -262,7 +162,7 @@ async fn rank_program(
     // The trigger lives on rank 0 (decisions are broadcast); it is
     // created at iteration 0 once the first wall time seeds the LB-cost
     // estimate.
-    let mut trigger: Option<AppTrigger> = None;
+    let mut trigger: Option<AnyTrigger> = None;
     let mut eroded_total = 0u64;
     // Per-column weight history for anticipatory partitioning: weights
     // by global column index as of `history_iter`.
@@ -348,10 +248,9 @@ async fn rank_program(
 
         // (6) LB decision on rank 0, broadcast to everyone.
         let my_flag = if rank == 0 {
-            let trig = trigger.get_or_insert_with(|| {
-                AppTrigger::build(cfg.trigger, cfg.initial_lb_cost_factor * t_iter)
-            });
-            trig.set_overhead_estimate(estimate_overhead(
+            let trig = trigger
+                .get_or_insert_with(|| cfg.trigger.build(cfg.initial_lb_cost_factor * t_iter));
+            trig.set_overhead_estimate(estimate_ulba_overhead(
                 &cfg.policy,
                 &db,
                 wtot_flops,
@@ -376,7 +275,7 @@ async fn rank_program(
             if rank == 0 {
                 ctx.elapse_lb(cfg.lb_root_walk_secs());
             }
-            let my_z = my_score(&cfg.policy, &db, rank);
+            let my_z = outlier_score(&cfg.policy, &db, rank);
             let my_alpha = cfg.policy.alpha_for(my_z);
             // Optionally extrapolate column weights over the expected
             // next interval (persistence: ≈ the last interval length).

@@ -5,21 +5,7 @@ use ulba_core::gossip::{GossipMode, GossipWire};
 use ulba_core::policy::LbPolicy;
 use ulba_runtime::{Backend, JobServer};
 
-/// Which adaptive trigger drives LB activation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum TriggerKind {
-    /// The Zhai et al. cumulative-degradation trigger (the paper's choice).
-    Zhai,
-    /// The Menon fixed-interval trigger re-estimated online (ablation).
-    Menon {
-        /// Fallback/maximum interval in iterations.
-        max_interval: u64,
-    },
-    /// Balance every `period` iterations (ablation).
-    Periodic(u64),
-    /// Never balance (static baseline).
-    Never,
-}
+pub use ulba_core::trigger::TriggerKind;
 
 /// Full configuration of one erosion experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -248,9 +234,7 @@ impl ErosionConfig {
         if self.hub_shards == Some(0) {
             return Err("hub_shards must be positive when set (None = runtime default)".into());
         }
-        if let GossipWire::Delta { full_every: 0 } = self.gossip_wire {
-            return Err("gossip_wire delta anti-entropy period must be ≥ 1".into());
-        }
+        self.gossip_wire.validate()?;
         Ok(())
     }
 

@@ -125,8 +125,17 @@ pub fn sigma_plus(params: &ModelParams, lb_iter: u32, alpha: f64) -> Option<f64>
     let qc = -(alpha * n / (p - n) * (params.wtot(lb_iter) + sminus * dw) / p + omega * params.c);
 
     let disc = qb * qb - 4.0 * qa * qc;
-    debug_assert!(disc >= 0.0, "σ⁺ quadratic must have real roots (qc ≤ 0)");
-    let tau = (-qb + disc.sqrt()) / (2.0 * qa);
+    // `qc ≤ 0` and `qa > 0` make `disc` a sum of non-negative terms, but
+    // near-degenerate parameters (α → 0 with C → 0, or N → P) can leave it
+    // a rounding error away from zero. A genuinely negative discriminant
+    // means the caller violated the model's contract (`qc > 0`) and must
+    // fail loudly; a `-1e-17` must not become a NaN that poisons every
+    // downstream σ⁺ comparison in release builds.
+    assert!(
+        disc >= -1e-9 * qb.mul_add(qb, (4.0 * qa * qc).abs()).max(1.0),
+        "σ⁺ quadratic must have real roots (qc ≤ 0); disc = {disc}"
+    );
+    let tau = (-qb + disc.max(0.0).sqrt()) / (2.0 * qa);
     Some(sminus + tau)
 }
 
@@ -280,6 +289,31 @@ mod tests {
         let mut p = params();
         p.n = 0;
         assert!(sigma_plus(&p, 0, 0.3).is_none());
+    }
+
+    #[test]
+    fn sigma_plus_finite_near_degenerate_params() {
+        // Regression: with α, C and ΔW all (near) zero the quadratic's
+        // constant and linear terms vanish, the discriminant sits exactly at
+        // 0 and FP rounding can nudge it to −1e-17 — which used to sqrt()
+        // into NaN in release builds (the guard was a debug_assert). σ⁺ must
+        // come back finite and ≥ σ⁻ across a sweep of near-degenerate
+        // corners: tiny α, tiny C, N close to P, and denormal-scale ΔW.
+        let mut p = params();
+        p.c = 0.0;
+        for alpha in [0.0, 1e-300, 1e-18] {
+            let sp = sigma_plus(&p, 0, alpha).expect("m̂ > 0 must yield a bound");
+            assert!(sp.is_finite(), "alpha={alpha}: σ⁺ must be finite, got {sp}");
+            let sm = sigma_minus(&p, 0, alpha).unwrap_or(0) as f64;
+            assert!(sp >= sm, "alpha={alpha}: σ⁺={sp} below σ⁻={sm}");
+        }
+        // N = P − 1 maximizes the N/(P−N) amplification without dividing by
+        // zero; paired with a tiny C this stresses the conditioning of qb/qc.
+        let mut p = params();
+        p.n = p.p - 1;
+        p.c = 1e-308;
+        let sp = sigma_plus(&p, 0, 1e-12).expect("m̂ > 0 must yield a bound");
+        assert!(sp.is_finite(), "near-degenerate σ⁺ must be finite, got {sp}");
     }
 
     #[test]

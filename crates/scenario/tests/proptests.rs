@@ -1,0 +1,137 @@
+//! Property tests of the scenario generators — the satellite-4 contract:
+//!
+//! * pieces of a capped split sum *exactly* to the requested total;
+//! * no piece ever exceeds the cap;
+//! * the achieved λ of every generated table stays within tolerance of the
+//!   target;
+//! * infeasible requests (`total > m · cap`, λ outside `[1, P]`) are
+//!   rejected up front with an `Err` — never an unbounded retry loop (the
+//!   reference C generator `gen()` spins forever on them).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ulba_scenario::{split_capped, ScenarioKind, WorkTable, LAMBDA_TOLERANCE, MIN_AVG_UNITS};
+
+/// The vendored proptest stub has no `sample::select`: draw an index.
+fn kind_of(idx: usize) -> ScenarioKind {
+    ScenarioKind::ALL[idx % ScenarioKind::ALL.len()]
+}
+
+proptest! {
+    /// Feasible splits: exact sum, cap respected, deterministic in the rng.
+    #[test]
+    fn split_sums_exactly_and_respects_cap(
+        m in 1usize..64,
+        cap in 1u64..100_000,
+        fill in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        // Any total in [0, m·cap] is feasible by construction.
+        let total = ((m as u64 * cap) as f64 * fill) as u64;
+        let pieces = split_capped(m, total, cap, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(pieces.len(), m);
+        prop_assert_eq!(pieces.iter().sum::<u64>(), total, "pieces must sum exactly");
+        prop_assert!(pieces.iter().all(|&p| p <= cap), "no piece may exceed the cap");
+        let again = split_capped(m, total, cap, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(pieces, again, "same seed, same split");
+    }
+
+    /// Infeasible totals are an immediate `Err`, not a hang.
+    #[test]
+    fn split_rejects_infeasible_up_front(
+        m in 1usize..64,
+        cap in 1u64..100_000,
+        excess in 1u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let total = m as u64 * cap + excess;
+        let err = split_capped(m, total, cap, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(err.is_err(), "total {} > m·cap {} must be rejected", total, m as u64 * cap);
+    }
+
+    /// Every family's table conserves work per phase and realizes the
+    /// requested λ within tolerance.
+    #[test]
+    fn tables_conserve_work_and_hit_lambda(
+        kind_idx in 0usize..5,
+        ranks in 1usize..48,
+        phases in 1usize..10,
+        lambda_fill in 0.0f64..=1.0,
+        avg_shift in 0u32..10,
+        seed in any::<u64>(),
+    ) {
+        // λ drawn from the feasible range [1, P].
+        let kind = kind_of(kind_idx);
+        let lambda = 1.0 + (ranks as f64 - 1.0) * lambda_fill;
+        let avg_units = MIN_AVG_UNITS << avg_shift;
+        let t = WorkTable::build(kind, ranks, phases, lambda, avg_units, seed).unwrap();
+        prop_assert_eq!(t.total_units, ranks as u64 * avg_units);
+        for (phase, row) in t.per_phase_units.iter().enumerate() {
+            prop_assert_eq!(row.len(), ranks);
+            prop_assert_eq!(
+                row.iter().sum::<u64>(), t.total_units,
+                "phase {} must conserve work", phase
+            );
+            // λ is a *max*: no phase may overshoot it (beyond rounding).
+            let max = *row.iter().max().unwrap() as f64;
+            prop_assert!(
+                max * ranks as f64 / t.total_units as f64
+                    <= t.lambda_achieved + f64::EPSILON * ranks as f64,
+                "phase {} exceeds the achieved λ", phase
+            );
+        }
+        prop_assert!(
+            (t.lambda_achieved - lambda).abs() <= LAMBDA_TOLERANCE * lambda,
+            "achieved λ {} strays from target {}", t.lambda_achieved, lambda
+        );
+    }
+
+    /// Infeasible λ and undersized avg_units are rejected up front.
+    #[test]
+    fn tables_reject_infeasible_parameters(
+        kind_idx in 0usize..5,
+        ranks in 1usize..48,
+        seed in any::<u64>(),
+        above in 0.001f64..10.0,
+    ) {
+        let kind = kind_of(kind_idx);
+        // λ > P: a single rank cannot exceed P× the mean.
+        let too_big = ranks as f64 + above;
+        prop_assert!(WorkTable::build(kind, ranks, 2, too_big, 1 << 10, seed).is_err());
+        // λ < 1: the max cannot undershoot the mean.
+        prop_assert!(WorkTable::build(kind, ranks, 2, 0.99, 1 << 10, seed).is_err());
+        // Tiny avg_units: rounding would break the λ tolerance.
+        prop_assert!(
+            WorkTable::build(kind, ranks, 2, 1.0, MIN_AVG_UNITS - 1, seed).is_err()
+        );
+    }
+
+    /// Work conservation under arbitrary repartitions of the task space:
+    /// summing `range_units` over any partition yields the phase total.
+    #[test]
+    fn range_units_invariant_under_partition(
+        kind_idx in 0usize..5,
+        ranks in 1usize..16,
+        tpr in 1usize..24,
+        cuts in collection::vec(0.0f64..=1.0, 0..6),
+        seed in any::<u64>(),
+    ) {
+        let kind = kind_of(kind_idx);
+        let lambda = 1.0f64.max((ranks as f64 / 2.0).min(4.0));
+        let t = WorkTable::build(kind, ranks, 3, lambda, 1 << 10, seed).unwrap();
+        let n_tasks = ranks * tpr;
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|&c| (c * n_tasks as f64) as usize).collect();
+        bounds.push(0);
+        bounds.push(n_tasks);
+        bounds.sort_unstable();
+        for phase in 0..3 {
+            let total: u64 = bounds
+                .windows(2)
+                .map(|w| t.range_units(phase, &(w[0]..w[1]), tpr))
+                .sum();
+            prop_assert_eq!(total, t.total_units, "phase {}", phase);
+        }
+    }
+}

@@ -24,7 +24,11 @@
 //!   trigger, Algorithm 2 target shares, weighted stripe partitioning and
 //!   the centralized balancer;
 //! * [`erosion`] (`ulba-erosion`) — the §IV-B fluid-with-erosion proxy
-//!   application.
+//!   application;
+//! * [`scenario`] (`ulba-scenario`) — adversarial imbalance scenario
+//!   generators (slow node, scatter, drifting hotspot, bursty, task-graph
+//!   traffic) with exact, analytically verified imbalance factors, driven
+//!   through the same runtime and ULBA machinery.
 //!
 //! ## Quick start
 //!
@@ -69,6 +73,7 @@ pub use ulba_core as core;
 pub use ulba_erosion as erosion;
 pub use ulba_model as model;
 pub use ulba_runtime as runtime;
+pub use ulba_scenario as scenario;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
@@ -84,5 +89,9 @@ pub mod prelude {
     pub use ulba_runtime::{
         run, try_run, Backend, JobHandle, JobServer, MachineSpec, Priority, RunConfig, RunError,
         RunReport, SpmdCtx,
+    };
+    pub use ulba_scenario::{
+        run_scenario, run_scenario_batch, submit_scenario, ScenarioConfig, ScenarioJob,
+        ScenarioKind, ScenarioResult, WorkTable,
     };
 }
